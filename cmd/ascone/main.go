@@ -1,0 +1,125 @@
+// Command ascone computes customer cones and the AS ranking from a
+// path corpus and a relationship file (or infers relationships on the
+// fly).
+//
+// Usage:
+//
+//	ascone -paths paths.txt -rels rels.txt -method pp -top 20
+//	ascone -paths paths.txt -method recursive         # infer first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asrank-go/asrank/internal/cone"
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/relfile"
+	"github.com/asrank-go/asrank/internal/stats"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+func main() {
+	var (
+		pathsFile = flag.String("paths", "", "text path file (required)")
+		relsFile  = flag.String("rels", "", "relationship file; inferred when omitted")
+		method    = flag.String("method", "pp", "cone definition: pp, bgp, or recursive")
+		weight    = flag.String("weight", "ases", "cone size metric: ases, prefixes, or addresses")
+		top       = flag.Int("top", 20, "rows to print")
+		ppdc      = flag.String("ppdc", "", "also write cone membership in CAIDA ppdc-ases format here")
+	)
+	flag.Parse()
+	if *pathsFile == "" {
+		fatal(fmt.Errorf("-paths is required"))
+	}
+	f, err := os.Open(*pathsFile)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := paths.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	ds, _ = paths.Sanitize(ds, paths.SanitizeOptions{})
+
+	var rels map[paths.Link]topology.Relationship
+	var transitDegree map[uint32]int
+	if *relsFile != "" {
+		rf, err := os.Open(*relsFile)
+		if err != nil {
+			fatal(err)
+		}
+		rels, err = relfile.Read(rf)
+		rf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		transitDegree = ds.TransitDegrees()
+	} else {
+		res := core.Infer(ds, core.Options{})
+		rels = res.Rels
+		transitDegree = res.TransitDegree
+	}
+
+	r := cone.NewRelations(rels)
+	var cones cone.Sets
+	switch *method {
+	case "pp":
+		cones = r.ProviderPeerObserved(ds)
+	case "bgp":
+		cones = r.BGPObserved(ds)
+	case "recursive":
+		cones = r.Recursive()
+	default:
+		fatal(fmt.Errorf("unknown method %q (want pp, bgp, or recursive)", *method))
+	}
+	if *ppdc != "" {
+		f, err := os.Create(*ppdc)
+		if err != nil {
+			fatal(err)
+		}
+		err = cone.WritePPDC(f, cones, fmt.Sprintf("%s customer cones", *method))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote cone membership to %s\n", *ppdc)
+	}
+
+	var sizes map[uint32]int
+	switch *weight {
+	case "ases":
+		sizes = cones.Sizes()
+	case "prefixes":
+		sizes = cones.PrefixWeighted(cone.PrefixCounts(ds))
+	case "addresses":
+		addr64 := cones.AddressWeighted(cone.AddressCounts(ds))
+		sizes = make(map[uint32]int, len(addr64))
+		for asn, v := range addr64 {
+			sizes[asn] = int(v)
+		}
+	default:
+		fatal(fmt.Errorf("unknown weight %q (want ases, prefixes, or addresses)", *weight))
+	}
+	order := cone.Rank(sizes, transitDegree)
+	if *top > len(order) {
+		*top = len(order)
+	}
+	t := stats.NewTable(fmt.Sprintf("AS rank by %s customer cone (%s)", *method, *weight),
+		"rank", "AS", "cone size", "transit degree")
+	for i := 0; i < *top; i++ {
+		asn := order[i]
+		t.AddRow(i+1, asn, sizes[asn], transitDegree[asn])
+	}
+	fmt.Print(t.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ascone:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command asrankd serves AS relationship and customer-cone data over
+// HTTP as JSON — a small-scale counterpart of the public AS Rank API
+// built on the paper's pipeline. It loads a path corpus, runs
+// inference, and serves the results read-only.
+//
+// Usage:
+//
+//	asrankd -paths paths.txt -listen 127.0.0.1:8080
+//	curl http://127.0.0.1:8080/api/v1/asns?limit=10
+//	curl http://127.0.0.1:8080/api/v1/asns/3356/links
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/apiserver"
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/paths"
+)
+
+func main() {
+	var (
+		pathsFile = flag.String("paths", "", "text path file (required)")
+		mrtFile   = flag.String("mrt", "", "MRT RIB file (alternative to -paths)")
+		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+	)
+	flag.Parse()
+
+	var (
+		ds  *paths.Dataset
+		err error
+	)
+	switch {
+	case *pathsFile != "":
+		f, ferr := os.Open(*pathsFile)
+		if ferr != nil {
+			log.Fatalf("asrankd: %v", ferr)
+		}
+		ds, err = paths.Read(f)
+		f.Close()
+	case *mrtFile != "":
+		f, ferr := os.Open(*mrtFile)
+		if ferr != nil {
+			log.Fatalf("asrankd: %v", ferr)
+		}
+		ds, _, err = paths.FromMRT(f, "asrankd")
+		f.Close()
+	default:
+		log.Fatal("asrankd: one of -paths or -mrt is required")
+	}
+	if err != nil {
+		log.Fatalf("asrankd: %v", err)
+	}
+
+	start := time.Now()
+	res := core.Infer(ds, core.Options{Sanitize: true})
+	data := apiserver.Build(res)
+	log.Printf("asrankd: inferred %d links (clique %v) in %s",
+		len(res.Rels), res.Clique, time.Since(start).Round(time.Millisecond))
+
+	srv := &http.Server{
+		Addr:         *listen,
+		Handler:      logRequests(apiserver.NewHandler(data)),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Printf("asrankd: serving on http://%s/api/v1/", *listen)
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatalf("asrankd: %v", err)
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

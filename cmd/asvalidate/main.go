@@ -1,0 +1,110 @@
+// Command asvalidate scores a relationship inference against ground
+// truth: a topology file (full truth), an RPSL dump, and/or an MRT RIB
+// with relationship-encoding communities.
+//
+// Usage:
+//
+//	asvalidate -rels rels.txt -topo topo.txt
+//	asvalidate -rels rels.txt -rpsl irr.txt -mrt rib.mrt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/relfile"
+	"github.com/asrank-go/asrank/internal/rpsl"
+	"github.com/asrank-go/asrank/internal/stats"
+	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/validation"
+)
+
+func main() {
+	var (
+		relsFile = flag.String("rels", "", "inferred relationship file (required)")
+		topoFile = flag.String("topo", "", "ground-truth topology file")
+		rpslFile = flag.String("rpsl", "", "RPSL dump with aut-num policies")
+		mrtFile  = flag.String("mrt", "", "MRT RIB with relationship communities")
+	)
+	flag.Parse()
+	if *relsFile == "" {
+		fatal(fmt.Errorf("-rels is required"))
+	}
+	if *topoFile == "" && *rpslFile == "" && *mrtFile == "" {
+		fatal(fmt.Errorf("at least one of -topo, -rpsl, -mrt is required"))
+	}
+
+	rf, err := os.Open(*relsFile)
+	if err != nil {
+		fatal(err)
+	}
+	inferred, err := relfile.Read(rf)
+	rf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	t := stats.NewTable("Validation of "+*relsFile,
+		"source", "validated", "c2p PPV", "p2p PPV", "overall")
+	report := func(name string, truth map[paths.Link]topology.Relationship) {
+		m := validation.Evaluate(inferred, truth)
+		t.AddRow(name, m.C2PTotal+m.P2PTotal, m.C2PPPV(), m.P2PPPV(), m.Overall())
+	}
+
+	corpus := validation.NewCorpus()
+	if *topoFile != "" {
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			fatal(err)
+		}
+		topo, err := topology.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		report("topology ground truth", topo.Links())
+	}
+	if *rpslFile != "" {
+		f, err := os.Open(*rpslFile)
+		if err != nil {
+			fatal(err)
+		}
+		objects, err := rpsl.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		autnums, err := rpsl.AutNums(objects)
+		if err != nil {
+			fatal(err)
+		}
+		rels := rpsl.Relationships(autnums)
+		report("RPSL policy", rels)
+		corpus.AddAll(rels, validation.SourceRPSL)
+	}
+	if *mrtFile != "" {
+		f, err := os.Open(*mrtFile)
+		if err != nil {
+			fatal(err)
+		}
+		rels, err := validation.FromCommunitiesMRT(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		report("BGP communities", rels)
+		corpus.AddAll(rels, validation.SourceCommunities)
+	}
+	if corpus.Len() > 0 {
+		m := validation.EvaluateCorpus(inferred, corpus)
+		t.AddRow("combined corpus", m.C2PTotal+m.P2PTotal, m.C2PPPV(), m.P2PPPV(), m.Overall())
+	}
+	fmt.Print(t.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asvalidate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command bgpsim propagates BGP routes over a ground-truth topology
+// under the Gao–Rexford export model and writes the AS paths a route
+// collector would record, as a text path file or a TABLE_DUMP_V2 MRT
+// RIB snapshot.
+//
+// Usage:
+//
+//	bgpsim -topo topo.txt -vps 20 -o paths.txt
+//	bgpsim -topo topo.txt -vps 20 -format mrt -o rib.mrt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgpsim"
+	collectorpkg "github.com/asrank-go/asrank/internal/collector"
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+func main() {
+	var (
+		topoFile  = flag.String("topo", "", "topology file from topogen (required)")
+		seed      = flag.Int64("seed", 20130401, "deterministic seed")
+		vps       = flag.Int("vps", 20, "number of vantage points")
+		partial   = flag.Float64("partial", 0.35, "fraction of VPs exporting only customer routes")
+		prepend   = flag.Float64("prepend", 0.08, "fraction of origins that prepend")
+		poison    = flag.Float64("poison", 0.0005, "per-path poisoned-path probability")
+		leak      = flag.Float64("leak", 0.0003, "per-path private-ASN leak probability")
+		docs      = flag.Float64("communities", 0.25, "fraction of ASes attaching relationship communities")
+		collector = flag.String("collector", "sim-rv2", "collector name")
+		format    = flag.String("format", "text", "output format: text or mrt")
+		out       = flag.String("o", "-", "output file ('-' = stdout)")
+		replay    = flag.String("replay", "", "instead of writing a file, announce over BGP to this collector address")
+	)
+	flag.Parse()
+	if *topoFile == "" {
+		fatal(fmt.Errorf("-topo is required"))
+	}
+
+	f, err := os.Open(*topoFile)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := topology.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := bgpsim.Options{
+		Seed:             *seed,
+		NumVPs:           *vps,
+		Collector:        *collector,
+		PartialFeedFrac:  *partial,
+		PrependRate:      *prepend,
+		PoisonRate:       *poison,
+		PrivateLeakRate:  *leak,
+		CommunityDocFrac: *docs,
+	}
+	res, err := bgpsim.Run(topo, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "propagated routes: %d paths from %d VPs (%d partial)\n",
+		res.Dataset.NumPaths(), len(res.VPs), len(res.PartialVPs))
+
+	if *replay != "" {
+		if err := collectorpkg.ReplayAll(*replay, res, collectorpkg.ReplayOptions{}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "replayed %d VP sessions into %s\n", len(res.VPs), *replay)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	switch *format {
+	case "text":
+		err = paths.Write(w, res.Dataset)
+	case "mrt":
+		err = bgpsim.ExportMRT(w, res, time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC))
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bgpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command collector runs a miniature BGP route collector: it accepts
+// BGP sessions, records every announced path, and archives the raw
+// updates as BGP4MP MRT records — a small-scale Route Views.
+//
+// Usage:
+//
+//	collector -listen 127.0.0.1:1790 -archive updates.mrt -paths paths.txt
+//
+// The server runs until interrupted (SIGINT/SIGTERM), then writes the
+// collected path corpus and exits. Feed it with:
+//
+//	bgpsim -topo topo.txt -replay 127.0.0.1:1790
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/asrank-go/asrank/internal/collector"
+	"github.com/asrank-go/asrank/internal/paths"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:1790", "listen address")
+		localAS = flag.Uint("as", 64497, "collector AS number")
+		archive = flag.String("archive", "", "BGP4MP MRT archive file")
+		out     = flag.String("paths", "-", "path corpus written on shutdown ('-' = stdout)")
+	)
+	flag.Parse()
+
+	var arch io.Writer
+	if *archive != "" {
+		f, err := os.Create(*archive)
+		if err != nil {
+			log.Fatalf("collector: %v", err)
+		}
+		defer f.Close()
+		arch = f
+	}
+	srv, err := collector.Listen(*listen, collector.Options{
+		LocalAS: uint32(*localAS),
+		Archive: arch,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("collector: %v", err)
+	}
+	log.Printf("collector: listening on %s (AS%d)", srv.Addr(), *localAS)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("collector: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("collector: close: %v", err)
+	}
+	sessions, updates := srv.Stats()
+	log.Printf("collector: %d sessions, %d updates", sessions, updates)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("collector: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := paths.Write(w, srv.Corpus()); err != nil {
+		log.Fatalf("collector: writing corpus: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d paths\n", srv.Corpus().NumPaths())
+}

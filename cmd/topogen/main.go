@@ -1,0 +1,103 @@
+// Command topogen generates synthetic Internet AS topologies with
+// ground-truth relationships, either a single snapshot or an evolving
+// longitudinal series.
+//
+// Usage:
+//
+//	topogen -ases 4000 -seed 42 -o topo.txt
+//	topogen -ases 1000 -snapshots 16 -o snapshots/   # series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/asrank-go/asrank/internal/rpsl"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 20130401, "deterministic generator seed")
+		ases      = flag.Int("ases", 4000, "number of ASes")
+		tier1s    = flag.Int("tier1s", 12, "size of the tier-1 clique")
+		regions   = flag.Int("regions", 5, "number of geographic regions")
+		snapshots = flag.Int("snapshots", 1, "snapshots to generate (>1 writes an evolving series)")
+		out       = flag.String("o", "-", "output file, or directory when -snapshots > 1 ('-' = stdout)")
+		rpslOut   = flag.String("rpsl", "", "also write a synthetic IRR dump (aut-num objects) here")
+		rpslFrac  = flag.Float64("rpsl-frac", 0.3, "fraction of ASes registered in the IRR dump")
+	)
+	flag.Parse()
+
+	p := topology.DefaultParams(*seed)
+	p.ASes = *ases
+	p.Tier1s = *tier1s
+	p.Regions = *regions
+
+	if *snapshots <= 1 {
+		topo := topology.Generate(p)
+		if err := writeTopo(topo, *out); err != nil {
+			fatal(err)
+		}
+		if *rpslOut != "" {
+			objects := rpsl.Generate(topo, rpsl.GenerateOptions{
+				Seed: *seed, RegisterFrac: *rpslFrac, StaleFrac: 0.02,
+			})
+			f, err := os.Create(*rpslOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rpsl.Write(f, objects); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d aut-num objects to %s\n", len(objects), *rpslOut)
+		}
+		st := topo.Stats()
+		fmt.Fprintf(os.Stderr, "generated %d ASes, %d links (%d p2c, %d p2p)\n",
+			st.ASes, st.Links, st.P2CLinks, st.P2PLinks)
+		return
+	}
+
+	e := topology.DefaultEvolveParams()
+	e.Snapshots = *snapshots
+	series := topology.GenerateSeries(p, e)
+	if *out == "-" {
+		fatal(fmt.Errorf("a series needs -o <directory>"))
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, topo := range series {
+		name := filepath.Join(*out, fmt.Sprintf("snapshot-%02d.txt", i))
+		if err := writeTopo(topo, name); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d ASes, %d links\n", name, topo.NumASes(), topo.NumLinks())
+	}
+}
+
+func writeTopo(topo *topology.Topology, name string) error {
+	if name == "-" {
+		return topo.Write(os.Stdout)
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := topo.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

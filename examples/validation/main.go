@@ -1,0 +1,83 @@
+// Validation: assembling the paper's three ground-truth sources —
+// operator-reported relationships, RPSL policy, and BGP communities —
+// and scoring an inference against each and against the merged corpus.
+//
+//	go run ./examples/validation
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	asrank "github.com/asrank-go/asrank"
+)
+
+// A hand-written IRR fragment: AS64496 buys from AS3356 and sells to
+// AS64511, in exactly the policy idiom the extractor understands.
+const irrFragment = `
+aut-num:   AS64496
+as-name:   EXAMPLE-NET
+import:    from AS3356 accept ANY
+export:    to AS3356 announce AS64496
+import:    from AS64511 accept AS64511
+export:    to AS64511 announce ANY
+source:    EXAMPLE
+`
+
+func main() {
+	// Show RPSL extraction on the hand-written fragment first.
+	rels, err := asrank.RPSLRelationships(strings.NewReader(irrFragment))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("relationships extracted from the IRR fragment:")
+	for l, r := range rels {
+		fmt.Printf("  %v: %v (relative to AS%d)\n", l, r, l.A)
+	}
+
+	// Now the full pipeline on simulated data.
+	params := asrank.DefaultTopologyParams(99)
+	params.ASes = 1200
+	topo := asrank.GenerateInternet(params)
+	opts := asrank.DefaultSimOptions(99)
+	opts.CommunityDocFrac = 0.3 // 30% of ASes document communities
+	sim, err := asrank.Simulate(topo, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := asrank.Infer(asrank.MustSanitize(sim.Dataset), asrank.InferOptions{})
+
+	// Source 1: directly reported (8% of links, 1% misreported).
+	reported := asrank.ReportedRelationships(topo, 0.08, 0.01, 99)
+
+	// Source 3: communities, recovered from the MRT RIB export.
+	var rib bytes.Buffer
+	if err := asrank.ExportMRT(&rib, sim, time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		log.Fatal(err)
+	}
+	communities, err := asrank.CommunityRelationships(&rib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	corpus := asrank.NewCorpus()
+	corpus.AddAll(reported, asrank.SourceReported)
+	corpus.AddAll(communities, asrank.SourceCommunities)
+
+	fmt.Printf("\nvalidation corpus: %d links (%d conflicts dropped)\n",
+		corpus.Len(), corpus.Conflicts())
+	for name, truth := range map[string]map[asrank.Link]asrank.Relationship{
+		"reported":    reported,
+		"communities": communities,
+	} {
+		m := asrank.Evaluate(res.Rels, truth)
+		fmt.Printf("  vs %-12s %4d links validated, c2p PPV %.3f, p2p PPV %.3f\n",
+			name+":", m.C2PTotal+m.P2PTotal, m.C2PPPV(), m.P2PPPV())
+	}
+	m := asrank.EvaluateCorpus(res.Rels, corpus)
+	fmt.Printf("  vs corpus:      %4d links validated, c2p PPV %.3f, p2p PPV %.3f\n",
+		m.C2PTotal+m.P2PTotal, m.C2PPPV(), m.P2PPPV())
+}

@@ -1,0 +1,3 @@
+module github.com/asrank-go/asrank
+
+go 1.22

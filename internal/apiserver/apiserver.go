@@ -1,0 +1,235 @@
+// Package apiserver serves inference results over HTTP as JSON — the
+// counterpart of the public AS Rank API that the paper's system feeds.
+// Endpoints (all GET):
+//
+//	/api/v1/health             liveness and dataset summary
+//	/api/v1/clique             the inferred clique
+//	/api/v1/asns               ranked ASes (limit/offset paging)
+//	/api/v1/asns/{asn}         one AS: rank, cone, degrees
+//	/api/v1/asns/{asn}/links   neighbors with relationship + provenance
+//	/api/v1/asns/{asn}/cone    customer cone membership
+package apiserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"github.com/asrank-go/asrank/internal/cone"
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/paths"
+)
+
+// Data is the immutable, precomputed view the handlers serve.
+type Data struct {
+	res       *core.Result
+	ppSizes   map[uint32]int
+	prefixes  map[uint32]int
+	rank      []uint32
+	rankOf    map[uint32]int
+	clique    map[uint32]bool
+	coneSets  cone.Sets
+	pathCount int
+}
+
+// Build precomputes the API view from an inference result. The result's
+// Dataset must be populated (as core.Infer leaves it).
+func Build(res *core.Result) *Data {
+	rels := cone.NewRelations(res.Rels)
+	sets := rels.ProviderPeerObserved(res.Dataset)
+	sizes := sets.Sizes()
+	rank := cone.Rank(sizes, res.TransitDegree)
+	rankOf := make(map[uint32]int, len(rank))
+	for i, asn := range rank {
+		rankOf[asn] = i + 1
+	}
+	clique := make(map[uint32]bool, len(res.Clique))
+	for _, m := range res.Clique {
+		clique[m] = true
+	}
+	return &Data{
+		res:       res,
+		ppSizes:   sizes,
+		prefixes:  cone.PrefixCounts(res.Dataset),
+		rank:      rank,
+		rankOf:    rankOf,
+		clique:    clique,
+		coneSets:  sets,
+		pathCount: res.Dataset.NumPaths(),
+	}
+}
+
+// asnSummary is the JSON shape of one ranked AS.
+type asnSummary struct {
+	ASN           uint32 `json:"asn"`
+	Rank          int    `json:"rank"`
+	ConeASes      int    `json:"coneASes"`
+	ConePrefixes  int    `json:"conePrefixes"`
+	TransitDegree int    `json:"transitDegree"`
+	Degree        int    `json:"degree"`
+	Providers     int    `json:"providers"`
+	Customers     int    `json:"customers"`
+	Peers         int    `json:"peers"`
+	InClique      bool   `json:"inClique"`
+}
+
+func (d *Data) summary(asn uint32) asnSummary {
+	cone := d.coneSets[asn]
+	conePrefixes := 0
+	for member := range cone {
+		conePrefixes += d.prefixes[member]
+	}
+	return asnSummary{
+		ASN:           asn,
+		Rank:          d.rankOf[asn],
+		ConeASes:      d.ppSizes[asn],
+		ConePrefixes:  conePrefixes,
+		TransitDegree: d.res.TransitDegree[asn],
+		Degree:        d.res.Degree[asn],
+		Providers:     len(d.res.Providers(asn)),
+		Customers:     len(d.res.Customers(asn)),
+		Peers:         len(d.res.Peers(asn)),
+		InClique:      d.clique[asn],
+	}
+}
+
+// NewHandler returns the API's HTTP handler.
+func NewHandler(d *Data) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/health", d.handleHealth)
+	mux.HandleFunc("GET /api/v1/clique", d.handleClique)
+	mux.HandleFunc("GET /api/v1/asns", d.handleList)
+	mux.HandleFunc("GET /api/v1/asns/{asn}", d.handleASN)
+	mux.HandleFunc("GET /api/v1/asns/{asn}/links", d.handleLinks)
+	mux.HandleFunc("GET /api/v1/asns/{asn}/cone", d.handleCone)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (d *Data) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status": "ok",
+		"ases":   len(d.rank),
+		"links":  len(d.res.Rels),
+		"paths":  d.pathCount,
+		"clique": d.res.Clique,
+	})
+}
+
+func (d *Data) handleClique(w http.ResponseWriter, r *http.Request) {
+	out := make([]asnSummary, 0, len(d.res.Clique))
+	for _, asn := range d.res.Clique {
+		out = append(out, d.summary(asn))
+	}
+	writeJSON(w, out)
+}
+
+func (d *Data) handleList(w http.ResponseWriter, r *http.Request) {
+	limit, err := intParam(r, "limit", 50)
+	if err != nil || limit <= 0 || limit > 1000 {
+		writeError(w, http.StatusBadRequest, "limit must be in 1..1000")
+		return
+	}
+	offset, err := intParam(r, "offset", 0)
+	if err != nil || offset < 0 {
+		writeError(w, http.StatusBadRequest, "offset must be >= 0")
+		return
+	}
+	if offset > len(d.rank) {
+		offset = len(d.rank)
+	}
+	end := offset + limit
+	if end > len(d.rank) {
+		end = len(d.rank)
+	}
+	out := make([]asnSummary, 0, end-offset)
+	for _, asn := range d.rank[offset:end] {
+		out = append(out, d.summary(asn))
+	}
+	writeJSON(w, map[string]any{"total": len(d.rank), "data": out})
+}
+
+func (d *Data) asnParam(w http.ResponseWriter, r *http.Request) (uint32, bool) {
+	v, err := strconv.ParseUint(r.PathValue("asn"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad AS number")
+		return 0, false
+	}
+	asn := uint32(v)
+	if _, ok := d.rankOf[asn]; !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("AS%d not observed", asn))
+		return 0, false
+	}
+	return asn, true
+}
+
+func (d *Data) handleASN(w http.ResponseWriter, r *http.Request) {
+	asn, ok := d.asnParam(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, d.summary(asn))
+}
+
+// linkEntry is the JSON shape of one adjacency.
+type linkEntry struct {
+	Neighbor     uint32 `json:"neighbor"`
+	Relationship string `json:"relationship"` // provider | customer | peer (relative to the queried AS)
+	Step         string `json:"inferredBy"`
+}
+
+func (d *Data) handleLinks(w http.ResponseWriter, r *http.Request) {
+	asn, ok := d.asnParam(w, r)
+	if !ok {
+		return
+	}
+	var out []linkEntry
+	emit := func(neighbors []uint32, rel string) {
+		for _, n := range neighbors {
+			step := d.res.Steps[paths.NewLink(asn, n)]
+			out = append(out, linkEntry{Neighbor: n, Relationship: rel, Step: step.String()})
+		}
+	}
+	emit(d.res.Providers(asn), "provider")
+	emit(d.res.Customers(asn), "customer")
+	emit(d.res.Peers(asn), "peer")
+	sort.Slice(out, func(i, j int) bool { return out[i].Neighbor < out[j].Neighbor })
+	writeJSON(w, out)
+}
+
+func (d *Data) handleCone(w http.ResponseWriter, r *http.Request) {
+	asn, ok := d.asnParam(w, r)
+	if !ok {
+		return
+	}
+	members := make([]uint32, 0, len(d.coneSets[asn]))
+	for m := range d.coneSets[asn] {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	writeJSON(w, map[string]any{"asn": asn, "size": len(members), "members": members})
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}

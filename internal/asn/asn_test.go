@@ -1,0 +1,140 @@
+package asn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsReserved(t *testing.T) {
+	tests := []struct {
+		a    uint32
+		want bool
+	}{
+		{0, true},
+		{1, false},
+		{174, false},
+		{3356, false},
+		{Trans, true},
+		{23455, false},
+		{23457, false},
+		{Doc16First, true},
+		{Doc16Last, true},
+		{Doc16First - 1, false},
+		{Private16First, true},
+		{Private16Last, true},
+		{Last16, true},
+		{Doc32First, true},
+		{Doc32Last, true},
+		{Doc32Last + 1, false},
+		{Private32First, true},
+		{Private32First - 1, false},
+		{Private32Last, true},
+		{Last32, true},
+		{394977, false},
+	}
+	for _, tt := range tests {
+		if got := IsReserved(tt.a); got != tt.want {
+			t.Errorf("IsReserved(%d) = %v, want %v", tt.a, got, tt.want)
+		}
+		if got := IsPublic(tt.a); got != !tt.want {
+			t.Errorf("IsPublic(%d) = %v, want %v", tt.a, got, !tt.want)
+		}
+	}
+}
+
+func TestIsPrivate(t *testing.T) {
+	for _, a := range []uint32{Private16First, Private16Last, Private32First, Private32Last} {
+		if !IsPrivate(a) {
+			t.Errorf("IsPrivate(%d) = false, want true", a)
+		}
+	}
+	for _, a := range []uint32{1, Last16, Doc16First, Private32First - 1} {
+		if IsPrivate(a) {
+			t.Errorf("IsPrivate(%d) = true, want false", a)
+		}
+	}
+}
+
+func TestIsDocumentation(t *testing.T) {
+	for _, a := range []uint32{Doc16First, Doc16Last, Doc32First, Doc32Last} {
+		if !IsDocumentation(a) {
+			t.Errorf("IsDocumentation(%d) = false, want true", a)
+		}
+	}
+	if IsDocumentation(1) || IsDocumentation(Private16First) {
+		t.Error("IsDocumentation misclassified a non-documentation ASN")
+	}
+}
+
+func TestIs4Byte(t *testing.T) {
+	if Is4Byte(65535) {
+		t.Error("Is4Byte(65535) = true, want false")
+	}
+	if !Is4Byte(65536) {
+		t.Error("Is4Byte(65536) = false, want true")
+	}
+}
+
+func TestFormatASDot(t *testing.T) {
+	tests := []struct {
+		a    uint32
+		want string
+	}{
+		{0, "0"},
+		{174, "174"},
+		{65535, "65535"},
+		{65536, "1.0"},
+		{65550, "1.14"},
+		{4294967295, "65535.65535"},
+	}
+	for _, tt := range tests {
+		if got := FormatASDot(tt.a); got != tt.want {
+			t.Errorf("FormatASDot(%d) = %q, want %q", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    uint32
+		wantErr bool
+	}{
+		{"174", 174, false},
+		{"AS174", 174, false},
+		{"as174", 174, false},
+		{"aS174", 174, false},
+		{"1.14", 65550, false},
+		{"AS1.14", 65550, false},
+		{"65535.65535", 4294967295, false},
+		{"4294967295", 4294967295, false},
+		{"4294967296", 0, true},
+		{"65536.0", 0, true},
+		{"0.65536", 0, true},
+		{"", 0, true},
+		{"AS", 0, true},
+		{"abc", 0, true},
+		{"1.2.3", 0, true},
+		{"-1", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Parse(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("Parse(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		got, err := Parse(FormatASDot(a))
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package baseline
+
+import (
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// UCLAOptions tunes the UCLA-style inference.
+type UCLAOptions struct {
+	// CliqueSize is how many top node-degree ASes anchor the hierarchy
+	// (default 10).
+	CliqueSize int
+}
+
+// UCLA implements the clique-anchored heuristic used to annotate the
+// UCLA IRL topology (Oliveira et al.): a fixed set of top-degree ASes
+// stands in for the tier-1 clique; each path is split at its first
+// clique member (or its highest-degree AS when it never touches the
+// clique), hops before the split climb and hops after it descend, and
+// links with conflicting directional evidence become peers.
+func UCLA(ds *paths.Dataset, opts UCLAOptions) map[paths.Link]topology.Relationship {
+	if opts.CliqueSize <= 0 {
+		opts.CliqueSize = 10
+	}
+	clique := make(map[uint32]bool, opts.CliqueSize)
+	for _, a := range topDegreeASes(ds, opts.CliqueSize) {
+		clique[a] = true
+	}
+	degree := ds.Degrees()
+
+	type dir struct {
+		provider, customer uint32
+	}
+	votes := make(map[dir]int)
+	for _, p := range ds.Paths {
+		asns := p.ASNs
+		split := -1
+		for i, a := range asns {
+			if clique[a] {
+				split = i
+				break
+			}
+		}
+		if split < 0 {
+			best, bestDeg := 0, -1
+			for i, a := range asns {
+				if degree[a] > bestDeg {
+					best, bestDeg = i, degree[a]
+				}
+			}
+			split = best
+		}
+		for i := 0; i+1 < len(asns); i++ {
+			if i < split {
+				votes[dir{asns[i+1], asns[i]}]++
+			} else {
+				votes[dir{asns[i], asns[i+1]}]++
+			}
+		}
+	}
+
+	out := make(map[paths.Link]topology.Relationship)
+	for l := range ds.Links() {
+		ab := votes[dir{l.A, l.B}]
+		ba := votes[dir{l.B, l.A}]
+		switch {
+		case clique[l.A] && clique[l.B]:
+			out[l] = topology.P2P
+		case ab > 0 && ba > 0:
+			out[l] = topology.P2P // conflicting evidence: peering
+		case ab > 0:
+			out[l] = topology.P2C
+		case ba > 0:
+			out[l] = topology.C2P
+		default:
+			out[l] = topology.P2P
+		}
+	}
+	return out
+}

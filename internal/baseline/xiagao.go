@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// XiaGao implements the Xia–Gao (2004) approach: start from a partial
+// set of known relationships (in practice derived from RPSL and other
+// registries) and extend it along observed paths using the valley-free
+// property:
+//
+//   - once a path has crossed a known p2c (downhill) or p2p hop, every
+//     later hop must be p2c;
+//   - every hop before a known c2p (uphill) hop must be c2p.
+//
+// The propagation iterates to a fixpoint; links still unlabeled fall
+// back to Gao's degree heuristic.
+func XiaGao(ds *paths.Dataset, partial map[paths.Link]topology.Relationship) map[paths.Link]topology.Relationship {
+	out := make(map[paths.Link]topology.Relationship, len(partial))
+	for l, r := range partial {
+		out[l] = r
+	}
+	rel := func(x, y uint32) topology.Relationship {
+		r, ok := out[paths.NewLink(x, y)]
+		if !ok {
+			return topology.None
+		}
+		if paths.NewLink(x, y).A == x {
+			return r
+		}
+		return r.Invert()
+	}
+	setP2C := func(provider, customer uint32) bool {
+		l := paths.NewLink(provider, customer)
+		if _, known := out[l]; known {
+			return false
+		}
+		if l.A == provider {
+			out[l] = topology.P2C
+		} else {
+			out[l] = topology.C2P
+		}
+		return true
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, p := range ds.Paths {
+			asns := p.ASNs
+			// Forward: after the first known downhill or peer hop,
+			// everything descends.
+			descending := false
+			for i := 0; i+1 < len(asns); i++ {
+				r := rel(asns[i], asns[i+1])
+				if descending {
+					if r == topology.None && setP2C(asns[i], asns[i+1]) {
+						changed = true
+					}
+					continue
+				}
+				if r == topology.P2C || r == topology.P2P {
+					descending = true
+				}
+			}
+			// Backward: before the last known uphill hop, everything
+			// climbs.
+			lastUp := -1
+			for i := 0; i+1 < len(asns); i++ {
+				if rel(asns[i], asns[i+1]) == topology.C2P {
+					lastUp = i
+				}
+			}
+			for i := 0; i < lastUp; i++ {
+				if rel(asns[i], asns[i+1]) == topology.None && setP2C(asns[i+1], asns[i]) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Fallback for links with no propagated label: Gao's heuristic.
+	gao := Gao(ds, GaoOptions{})
+	for l := range ds.Links() {
+		if _, known := out[l]; !known {
+			out[l] = gao[l]
+		}
+	}
+	return out
+}

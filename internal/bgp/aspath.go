@@ -1,0 +1,210 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// SegmentType distinguishes AS_PATH segment kinds (RFC 4271 §4.3; we do
+// not implement the deprecated confederation segment types).
+type SegmentType uint8
+
+// AS_PATH segment types.
+const (
+	ASSet      SegmentType = 1
+	ASSequence SegmentType = 2
+)
+
+// PathSegment is one AS_PATH segment: an ordered sequence or an unordered
+// set of AS numbers.
+type PathSegment struct {
+	Type SegmentType
+	ASNs []uint32
+}
+
+// ASPath is a full AS_PATH attribute value.
+type ASPath []PathSegment
+
+// Sequence builds a single-segment AS_SEQUENCE path, the common case for
+// routes that never crossed an aggregator.
+func Sequence(asns ...uint32) ASPath {
+	if len(asns) == 0 {
+		return ASPath{}
+	}
+	return ASPath{{Type: ASSequence, ASNs: asns}}
+}
+
+// Flatten returns all ASNs in path order. Set members are appended in
+// their encoded order; callers that care about sets should inspect
+// segments directly.
+func (p ASPath) Flatten() []uint32 {
+	var n int
+	for _, s := range p {
+		n += len(s.ASNs)
+	}
+	out := make([]uint32, 0, n)
+	for _, s := range p {
+		out = append(out, s.ASNs...)
+	}
+	return out
+}
+
+// HasSet reports whether the path contains an AS_SET segment (the result
+// of aggregation; such paths are discarded during sanitization).
+func (p ASPath) HasSet() bool {
+	for _, s := range p {
+		if s.Type == ASSet {
+			return true
+		}
+	}
+	return false
+}
+
+// Origin returns the last AS of the path (the route originator) and
+// whether one exists.
+func (p ASPath) Origin() (uint32, bool) {
+	for i := len(p) - 1; i >= 0; i-- {
+		if n := len(p[i].ASNs); n > 0 {
+			if p[i].Type == ASSet && n > 1 {
+				return 0, false // ambiguous origin behind aggregation
+			}
+			return p[i].ASNs[n-1], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the path in looking-glass style: sequences space
+// separated, sets in braces.
+func (p ASPath) String() string {
+	var b strings.Builder
+	for i, s := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if s.Type == ASSet {
+			b.WriteByte('{')
+		}
+		for j, a := range s.ASNs {
+			if j > 0 {
+				if s.Type == ASSet {
+					b.WriteByte(',')
+				} else {
+					b.WriteByte(' ')
+				}
+			}
+			fmt.Fprintf(&b, "%d", a)
+		}
+		if s.Type == ASSet {
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}
+
+// maxSegmentASNs is the per-segment AS count limit: the length field is
+// one octet.
+const maxSegmentASNs = 255
+
+// AppendASPath appends the wire encoding of p. If as4 is true ASNs are
+// encoded as 4 octets (RFC 6793), otherwise as 2 octets with AS_TRANS
+// substituted for ASNs that do not fit.
+func AppendASPath(dst []byte, p ASPath, as4 bool) ([]byte, error) {
+	for _, s := range p {
+		if s.Type != ASSet && s.Type != ASSequence {
+			return nil, fmt.Errorf("bgp: bad AS_PATH segment type %d", s.Type)
+		}
+		asns := s.ASNs
+		for len(asns) > 0 {
+			chunk := asns
+			if len(chunk) > maxSegmentASNs {
+				if s.Type == ASSet {
+					return nil, fmt.Errorf("bgp: AS_SET with %d members exceeds segment limit", len(asns))
+				}
+				chunk = chunk[:maxSegmentASNs]
+			}
+			dst = append(dst, byte(s.Type), byte(len(chunk)))
+			for _, a := range chunk {
+				if as4 {
+					dst = binary.BigEndian.AppendUint32(dst, a)
+				} else {
+					v := uint16(23456) // AS_TRANS
+					if a <= 0xffff {
+						v = uint16(a)
+					}
+					dst = binary.BigEndian.AppendUint16(dst, v)
+				}
+			}
+			asns = asns[len(chunk):]
+		}
+	}
+	return dst, nil
+}
+
+// ParseASPath decodes an AS_PATH attribute value; as4 selects the ASN
+// width.
+func ParseASPath(b []byte, as4 bool) (ASPath, error) {
+	var p ASPath
+	width := 2
+	if as4 {
+		width = 4
+	}
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, errShort
+		}
+		typ := SegmentType(b[0])
+		if typ != ASSet && typ != ASSequence {
+			return nil, fmt.Errorf("bgp: bad AS_PATH segment type %d", typ)
+		}
+		count := int(b[1])
+		b = b[2:]
+		need := count * width
+		if len(b) < need {
+			return nil, errShort
+		}
+		seg := PathSegment{Type: typ, ASNs: make([]uint32, count)}
+		for i := 0; i < count; i++ {
+			if as4 {
+				seg.ASNs[i] = binary.BigEndian.Uint32(b[i*4:])
+			} else {
+				seg.ASNs[i] = uint32(binary.BigEndian.Uint16(b[i*2:]))
+			}
+		}
+		b = b[need:]
+		p = append(p, seg)
+	}
+	return p, nil
+}
+
+// MergeAS4Path reconstructs a 4-byte AS path from a 2-byte AS_PATH
+// containing AS_TRANS and the AS4_PATH attribute, per RFC 6793 §4.2.3:
+// if AS_PATH is at least as long as AS4_PATH, the leading AS_PATH
+// segments are kept and the tail is taken from AS4_PATH.
+func MergeAS4Path(asPath, as4Path ASPath) ASPath {
+	if len(as4Path) == 0 {
+		return asPath
+	}
+	n2 := len(asPath.Flatten())
+	n4 := len(as4Path.Flatten())
+	if n4 > n2 {
+		// Malformed per RFC 6793: ignore AS4_PATH.
+		return asPath
+	}
+	keep := n2 - n4
+	var out ASPath
+	for _, s := range asPath {
+		if keep == 0 {
+			break
+		}
+		if len(s.ASNs) <= keep {
+			out = append(out, s)
+			keep -= len(s.ASNs)
+			continue
+		}
+		out = append(out, PathSegment{Type: s.Type, ASNs: s.ASNs[:keep]})
+		keep = 0
+	}
+	return append(out, as4Path...)
+}

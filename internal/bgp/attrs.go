@@ -1,0 +1,312 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Path attribute type codes.
+const (
+	attrOrigin          = 1
+	attrASPath          = 2
+	attrNextHop         = 3
+	attrMED             = 4
+	attrLocalPref       = 5
+	attrAtomicAggregate = 6
+	attrAggregator      = 7
+	attrCommunities     = 8
+	attrMPReachNLRI     = 14
+	attrMPUnreachNLRI   = 15
+	attrAS4Path         = 17
+	attrAS4Aggregator   = 18
+)
+
+// Path attribute flag bits (RFC 4271 §4.3).
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagPartial    = 0x20
+	flagExtended   = 0x10
+)
+
+// Aggregator is the AGGREGATOR attribute value.
+type Aggregator struct {
+	ASN  uint32
+	Addr netip.Addr
+}
+
+// MPReach is a minimal MP_REACH_NLRI (RFC 4760) value carrying IPv6
+// unicast reachability, as found in TABLE_DUMP_V2 IPv6 RIB entries.
+type MPReach struct {
+	AFI     uint16
+	SAFI    uint8
+	NextHop netip.Addr
+	NLRI    []netip.Prefix
+}
+
+// AFI/SAFI values used by this module.
+const (
+	AFIIPv4     = 1
+	AFIIPv6     = 2
+	SAFIUnicast = 1
+)
+
+// RawAttr preserves an attribute this package does not interpret, so
+// decode→encode round-trips retain it.
+type RawAttr struct {
+	Flags uint8
+	Type  uint8
+	Value []byte
+}
+
+// PathAttributes holds the decoded path attributes of a route. The zero
+// value has origin IGP, an empty AS path and no optional attributes.
+type PathAttributes struct {
+	Origin          Origin
+	ASPath          ASPath
+	NextHop         netip.Addr // invalid Addr means absent
+	MED             uint32
+	HasMED          bool
+	LocalPref       uint32
+	HasLocalPref    bool
+	AtomicAggregate bool
+	Aggregator      *Aggregator
+	Communities     []Community
+	AS4Path         ASPath
+	MPReach         *MPReach
+	Unknown         []RawAttr
+}
+
+// Path returns the effective 4-byte AS path, merging AS4_PATH when the
+// attributes were carried over a 2-byte session (RFC 6793).
+func (a *PathAttributes) Path() ASPath {
+	return MergeAS4Path(a.ASPath, a.AS4Path)
+}
+
+// appendAttr appends one attribute with correctly sized length field.
+func appendAttr(dst []byte, flags, typ uint8, val []byte) []byte {
+	if len(val) > 0xff {
+		flags |= flagExtended
+	}
+	dst = append(dst, flags, typ)
+	if flags&flagExtended != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
+	} else {
+		dst = append(dst, byte(len(val)))
+	}
+	return append(dst, val...)
+}
+
+// Encode renders the attributes in canonical (ascending type code) order.
+// as4 selects 4-byte AS_PATH encoding; when false, 4-byte ASNs are
+// squashed to AS_TRANS in AS_PATH and the full path is emitted as
+// AS4_PATH if needed.
+func (a *PathAttributes) Encode(as4 bool) ([]byte, error) {
+	var dst []byte
+	dst = appendAttr(dst, flagTransitive, attrOrigin, []byte{byte(a.Origin)})
+
+	pathVal, err := AppendASPath(nil, a.ASPath, as4)
+	if err != nil {
+		return nil, err
+	}
+	dst = appendAttr(dst, flagTransitive, attrASPath, pathVal)
+
+	if a.NextHop.IsValid() && a.NextHop.Is4() {
+		nh := a.NextHop.As4()
+		dst = appendAttr(dst, flagTransitive, attrNextHop, nh[:])
+	}
+	if a.HasMED {
+		dst = appendAttr(dst, flagOptional, attrMED, binary.BigEndian.AppendUint32(nil, a.MED))
+	}
+	if a.HasLocalPref {
+		dst = appendAttr(dst, flagTransitive, attrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref))
+	}
+	if a.AtomicAggregate {
+		dst = appendAttr(dst, flagTransitive, attrAtomicAggregate, nil)
+	}
+	if a.Aggregator != nil {
+		var val []byte
+		if as4 {
+			val = binary.BigEndian.AppendUint32(val, a.Aggregator.ASN)
+		} else {
+			v := uint16(23456)
+			if a.Aggregator.ASN <= 0xffff {
+				v = uint16(a.Aggregator.ASN)
+			}
+			val = binary.BigEndian.AppendUint16(val, v)
+		}
+		ip := a.Aggregator.Addr.As4()
+		val = append(val, ip[:]...)
+		dst = appendAttr(dst, flagOptional|flagTransitive, attrAggregator, val)
+	}
+	if len(a.Communities) > 0 {
+		val := make([]byte, 0, 4*len(a.Communities))
+		for _, c := range a.Communities {
+			val = binary.BigEndian.AppendUint32(val, uint32(c))
+		}
+		dst = appendAttr(dst, flagOptional|flagTransitive, attrCommunities, val)
+	}
+	if a.MPReach != nil {
+		val, err := a.MPReach.encode()
+		if err != nil {
+			return nil, err
+		}
+		dst = appendAttr(dst, flagOptional, attrMPReachNLRI, val)
+	}
+	if !as4 && needsAS4Path(a.ASPath) {
+		val, err := AppendASPath(nil, a.ASPath, true)
+		if err != nil {
+			return nil, err
+		}
+		dst = appendAttr(dst, flagOptional|flagTransitive, attrAS4Path, val)
+	} else if len(a.AS4Path) > 0 && !as4 {
+		val, err := AppendASPath(nil, a.AS4Path, true)
+		if err != nil {
+			return nil, err
+		}
+		dst = appendAttr(dst, flagOptional|flagTransitive, attrAS4Path, val)
+	}
+	for _, raw := range a.Unknown {
+		dst = appendAttr(dst, raw.Flags&^flagExtended, raw.Type, raw.Value)
+	}
+	return dst, nil
+}
+
+// needsAS4Path reports whether any ASN in p does not fit in 2 bytes.
+func needsAS4Path(p ASPath) bool {
+	for _, s := range p {
+		for _, a := range s.ASNs {
+			if a > 0xffff {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *MPReach) encode() ([]byte, error) {
+	if !m.NextHop.IsValid() {
+		return nil, fmt.Errorf("bgp: MP_REACH_NLRI without next hop")
+	}
+	nh := m.NextHop.AsSlice()
+	val := make([]byte, 0, 5+len(nh))
+	val = binary.BigEndian.AppendUint16(val, m.AFI)
+	val = append(val, m.SAFI, byte(len(nh)))
+	val = append(val, nh...)
+	val = append(val, 0) // reserved SNPA count
+	val = AppendNLRIs(val, m.NLRI)
+	return val, nil
+}
+
+func parseMPReach(b []byte) (*MPReach, error) {
+	if len(b) < 5 {
+		return nil, errShort
+	}
+	m := &MPReach{AFI: binary.BigEndian.Uint16(b), SAFI: b[2]}
+	nhLen := int(b[3])
+	if len(b) < 4+nhLen+1 {
+		return nil, errShort
+	}
+	nh, ok := netip.AddrFromSlice(b[4 : 4+nhLen])
+	if !ok {
+		return nil, fmt.Errorf("bgp: MP_REACH_NLRI next hop length %d", nhLen)
+	}
+	m.NextHop = nh
+	rest := b[4+nhLen+1:] // skip reserved octet
+	nlri, err := ParseNLRIs(rest, m.AFI == AFIIPv6)
+	if err != nil {
+		return nil, err
+	}
+	m.NLRI = nlri
+	return m, nil
+}
+
+// ParseAttributes decodes a path attribute block. as4 selects the AS_PATH
+// ASN width (true for TABLE_DUMP_V2 RIB entries and BGP4MP_MESSAGE_AS4).
+func ParseAttributes(b []byte, as4 bool) (*PathAttributes, error) {
+	a := &PathAttributes{}
+	for len(b) > 0 {
+		if len(b) < 3 {
+			return nil, errShort
+		}
+		flags, typ := b[0], b[1]
+		var alen, hdr int
+		if flags&flagExtended != 0 {
+			if len(b) < 4 {
+				return nil, errShort
+			}
+			alen = int(binary.BigEndian.Uint16(b[2:]))
+			hdr = 4
+		} else {
+			alen = int(b[2])
+			hdr = 3
+		}
+		if len(b) < hdr+alen {
+			return nil, errShort
+		}
+		val := b[hdr : hdr+alen]
+		b = b[hdr+alen:]
+
+		var err error
+		switch typ {
+		case attrOrigin:
+			if alen != 1 {
+				return nil, fmt.Errorf("bgp: ORIGIN length %d", alen)
+			}
+			a.Origin = Origin(val[0])
+		case attrASPath:
+			a.ASPath, err = ParseASPath(val, as4)
+		case attrNextHop:
+			if alen != 4 {
+				return nil, fmt.Errorf("bgp: NEXT_HOP length %d", alen)
+			}
+			a.NextHop = netip.AddrFrom4([4]byte(val))
+		case attrMED:
+			if alen != 4 {
+				return nil, fmt.Errorf("bgp: MED length %d", alen)
+			}
+			a.MED, a.HasMED = binary.BigEndian.Uint32(val), true
+		case attrLocalPref:
+			if alen != 4 {
+				return nil, fmt.Errorf("bgp: LOCAL_PREF length %d", alen)
+			}
+			a.LocalPref, a.HasLocalPref = binary.BigEndian.Uint32(val), true
+		case attrAtomicAggregate:
+			a.AtomicAggregate = true
+		case attrAggregator:
+			agg := &Aggregator{}
+			switch alen {
+			case 6:
+				agg.ASN = uint32(binary.BigEndian.Uint16(val))
+				agg.Addr = netip.AddrFrom4([4]byte(val[2:6]))
+			case 8:
+				agg.ASN = binary.BigEndian.Uint32(val)
+				agg.Addr = netip.AddrFrom4([4]byte(val[4:8]))
+			default:
+				return nil, fmt.Errorf("bgp: AGGREGATOR length %d", alen)
+			}
+			a.Aggregator = agg
+		case attrCommunities:
+			if alen%4 != 0 {
+				return nil, fmt.Errorf("bgp: COMMUNITIES length %d", alen)
+			}
+			a.Communities = make([]Community, alen/4)
+			for i := range a.Communities {
+				a.Communities[i] = Community(binary.BigEndian.Uint32(val[i*4:]))
+			}
+		case attrMPReachNLRI:
+			a.MPReach, err = parseMPReach(val)
+		case attrAS4Path:
+			a.AS4Path, err = ParseASPath(val, true)
+		default:
+			a.Unknown = append(a.Unknown, RawAttr{
+				Flags: flags, Type: typ, Value: append([]byte(nil), val...),
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,172 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Open is a BGP OPEN message (RFC 4271 §4.2) with the capabilities this
+// module understands: four-byte AS numbers (RFC 6793) and multiprotocol
+// IPv4 unicast (RFC 4760). Unknown capabilities are preserved.
+type Open struct {
+	Version  uint8
+	ASN      uint32 // the real ASN; encoded as AS_TRANS in the 2-byte field when > 65535
+	HoldTime uint16
+	BGPID    netip.Addr
+
+	// FourByteAS reports whether the four-byte-AS capability was sent.
+	FourByteAS bool
+	// RawCaps preserves capabilities this package does not interpret,
+	// as (code, value) pairs.
+	RawCaps []RawCapability
+}
+
+// RawCapability is an uninterpreted BGP capability.
+type RawCapability struct {
+	Code  uint8
+	Value []byte
+}
+
+// Capability codes used here.
+const (
+	capMultiprotocol = 1
+	capFourByteAS    = 65
+)
+
+// optParamCapabilities is the only optional parameter type in use.
+const optParamCapabilities = 2
+
+// EncodeOpen renders a complete OPEN message. The four-byte-AS
+// capability is always announced (carrying the real ASN); the 2-byte
+// header field holds AS_TRANS for large ASNs.
+func EncodeOpen(o *Open) ([]byte, error) {
+	if !o.BGPID.Is4() {
+		return nil, fmt.Errorf("bgp: OPEN needs an IPv4 BGP identifier, got %v", o.BGPID)
+	}
+	version := o.Version
+	if version == 0 {
+		version = 4
+	}
+	// Capabilities.
+	var caps []byte
+	caps = append(caps, capFourByteAS, 4)
+	caps = binary.BigEndian.AppendUint32(caps, o.ASN)
+	for _, rc := range o.RawCaps {
+		if len(rc.Value) > 0xff {
+			return nil, fmt.Errorf("bgp: capability %d value too long", rc.Code)
+		}
+		caps = append(caps, rc.Code, byte(len(rc.Value)))
+		caps = append(caps, rc.Value...)
+	}
+	if len(caps) > 0xff {
+		return nil, fmt.Errorf("bgp: capabilities block too long (%d bytes)", len(caps))
+	}
+
+	body := make([]byte, 0, 10+2+len(caps))
+	body = append(body, version)
+	as2 := uint16(Trans16)
+	if o.ASN <= 0xffff {
+		as2 = uint16(o.ASN)
+	}
+	body = binary.BigEndian.AppendUint16(body, as2)
+	body = binary.BigEndian.AppendUint16(body, o.HoldTime)
+	id := o.BGPID.As4()
+	body = append(body, id[:]...)
+	// One optional parameter holding all capabilities.
+	body = append(body, byte(2+len(caps))) // total opt params length
+	body = append(body, optParamCapabilities, byte(len(caps)))
+	body = append(body, caps...)
+
+	msg, err := AppendHeader(nil, MsgOpen, len(body))
+	if err != nil {
+		return nil, err
+	}
+	return append(msg, body...), nil
+}
+
+// Trans16 is AS_TRANS (RFC 6793), duplicated here to avoid an import
+// cycle with internal/asn.
+const Trans16 = 23456
+
+// ParseOpen decodes a complete OPEN message.
+func ParseOpen(msg []byte) (*Open, error) {
+	typ, body, err := ParseHeader(msg)
+	if err != nil {
+		return nil, err
+	}
+	if typ != MsgOpen {
+		return nil, fmt.Errorf("bgp: message type %d is not OPEN", typ)
+	}
+	return ParseOpenBody(body)
+}
+
+// ParseOpenBody decodes an OPEN body (without the message header).
+func ParseOpenBody(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, errShort
+	}
+	o := &Open{
+		Version:  body[0],
+		ASN:      uint32(binary.BigEndian.Uint16(body[1:])),
+		HoldTime: binary.BigEndian.Uint16(body[3:]),
+		BGPID:    netip.AddrFrom4([4]byte(body[5:9])),
+	}
+	optLen := int(body[9])
+	rest := body[10:]
+	if len(rest) < optLen {
+		return nil, errShort
+	}
+	rest = rest[:optLen]
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return nil, errShort
+		}
+		ptype, plen := rest[0], int(rest[1])
+		rest = rest[2:]
+		if len(rest) < plen {
+			return nil, errShort
+		}
+		pval := rest[:plen]
+		rest = rest[plen:]
+		if ptype != optParamCapabilities {
+			continue
+		}
+		for len(pval) > 0 {
+			if len(pval) < 2 {
+				return nil, errShort
+			}
+			code, clen := pval[0], int(pval[1])
+			pval = pval[2:]
+			if len(pval) < clen {
+				return nil, errShort
+			}
+			cval := pval[:clen]
+			pval = pval[clen:]
+			switch code {
+			case capFourByteAS:
+				if clen != 4 {
+					return nil, fmt.Errorf("bgp: four-byte-AS capability length %d", clen)
+				}
+				o.FourByteAS = true
+				o.ASN = binary.BigEndian.Uint32(cval)
+			default:
+				o.RawCaps = append(o.RawCaps, RawCapability{
+					Code: code, Value: append([]byte(nil), cval...),
+				})
+			}
+		}
+	}
+	return o, nil
+}
+
+// EncodeNotification renders a NOTIFICATION message (RFC 4271 §4.5).
+func EncodeNotification(code, subcode uint8) []byte {
+	msg, _ := AppendHeader(nil, MsgNotification, 2)
+	return append(msg, code, subcode)
+}
+
+// NOTIFICATION codes used by the collector.
+const (
+	NotifCease = 6
+)

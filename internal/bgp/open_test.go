@@ -1,0 +1,150 @@
+package bgp
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpenRoundTripQuick(t *testing.T) {
+	f := func(asn uint32, hold uint16, a, b, c, d byte) bool {
+		o := &Open{
+			ASN:      asn,
+			HoldTime: hold,
+			BGPID:    netip.AddrFrom4([4]byte{a, b, c, d}),
+		}
+		msg, err := EncodeOpen(o)
+		if err != nil {
+			return false
+		}
+		got, err := ParseOpen(msg)
+		if err != nil {
+			return false
+		}
+		return got.ASN == asn && got.HoldTime == hold && got.BGPID == o.BGPID &&
+			got.FourByteAS && got.Version == 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenTwoByteFieldHoldsASTrans(t *testing.T) {
+	msg, err := EncodeOpen(&Open{ASN: 4200000001, BGPID: netip.MustParseAddr("10.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte layout: 19 header + version(1) + my-AS(2).
+	as2 := int(msg[20])<<8 | int(msg[21])
+	if as2 != Trans16 {
+		t.Errorf("2-byte AS field = %d, want AS_TRANS", as2)
+	}
+	small, _ := EncodeOpen(&Open{ASN: 7018, BGPID: netip.MustParseAddr("10.0.0.1")})
+	if as2 := int(small[20])<<8 | int(small[21]); as2 != 7018 {
+		t.Errorf("2-byte AS field = %d, want 7018", as2)
+	}
+}
+
+func TestOpenPreservesUnknownCaps(t *testing.T) {
+	o := &Open{
+		ASN:     7018,
+		BGPID:   netip.MustParseAddr("10.0.0.1"),
+		RawCaps: []RawCapability{{Code: 2, Value: nil}, {Code: 64, Value: []byte{0, 1, 0, 1}}},
+	}
+	msg, err := EncodeOpen(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseOpen(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.RawCaps, o.RawCaps) {
+		t.Errorf("raw caps: %+v", got.RawCaps)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := EncodeOpen(&Open{ASN: 1, BGPID: netip.MustParseAddr("2001:db8::1")}); err == nil {
+		t.Error("v6 BGP ID should fail")
+	}
+	if _, err := ParseOpen(EncodeKeepalive()); err == nil {
+		t.Error("keepalive should not parse as OPEN")
+	}
+	if _, err := ParseOpenBody([]byte{4, 0, 1}); err == nil {
+		t.Error("truncated body should fail")
+	}
+	// opt param length exceeding the body.
+	body := []byte{4, 0, 1, 0, 90, 10, 0, 0, 1, 99}
+	if _, err := ParseOpenBody(body); err == nil {
+		t.Error("overlong opt params should fail")
+	}
+	// Truncated capability inside the params.
+	bad := []byte{4, 0, 1, 0, 90, 10, 0, 0, 1, 4, 2, 2, 65, 9}
+	if _, err := ParseOpenBody(bad); err == nil {
+		t.Error("truncated capability should fail")
+	}
+	// Wrong-size four-byte-AS capability.
+	cap3 := []byte{4, 0, 1, 0, 90, 10, 0, 0, 1, 7, 2, 5, 65, 3, 1, 2, 3}
+	if _, err := ParseOpenBody(cap3); err == nil {
+		t.Error("3-byte four-byte-AS capability should fail")
+	}
+}
+
+func TestNotification(t *testing.T) {
+	msg := EncodeNotification(NotifCease, 2)
+	typ, body, err := ParseHeader(msg)
+	if err != nil || typ != MsgNotification {
+		t.Fatalf("typ=%d err=%v", typ, err)
+	}
+	if len(body) != 2 || body[0] != NotifCease || body[1] != 2 {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestReadMessage(t *testing.T) {
+	upd, err := EncodeUpdate(&Update{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append([]byte{}, upd...), EncodeKeepalive()...)
+	r := bytes.NewReader(stream)
+	m1, err := ReadMessage(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1, upd) {
+		t.Error("first message mismatch")
+	}
+	m2, err := ReadMessage(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, _ := ParseHeader(m2); typ != MsgKeepalive {
+		t.Error("second message should be keepalive")
+	}
+	if _, err := ReadMessage(r); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	// Garbage marker.
+	if _, err := ReadMessage(bytes.NewReader(make([]byte, 19))); err == nil {
+		t.Error("zero marker should fail")
+	}
+	// Truncated body.
+	upd, _ := EncodeUpdate(&Update{}, true)
+	if _, err := ReadMessage(bytes.NewReader(upd[:len(upd)-1])); err == nil {
+		t.Error("truncated body should fail")
+	}
+	// Length below header size.
+	bad := append([]byte{}, EncodeKeepalive()...)
+	bad[16], bad[17] = 0, 5
+	if _, err := ReadMessage(bytes.NewReader(bad)); err == nil {
+		t.Error("undersized length should fail")
+	}
+}

@@ -1,0 +1,74 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// AppendNLRI appends the wire encoding of an NLRI prefix: one length
+// octet followed by the minimum number of prefix octets (RFC 4271
+// §4.3). Host bits beyond the prefix length are zeroed by
+// netip.Prefix.Masked, which callers should apply first; this function
+// encodes whatever address bytes it is given.
+func AppendNLRI(dst []byte, p netip.Prefix) []byte {
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	n := (bits + 7) / 8
+	a := p.Addr().AsSlice()
+	return append(dst, a[:n]...)
+}
+
+// ParseNLRI decodes one NLRI prefix from b, returning the prefix and the
+// number of bytes consumed. v6 selects the address family, which NLRI
+// encoding does not carry in-band.
+func ParseNLRI(b []byte, v6 bool) (netip.Prefix, int, error) {
+	if len(b) < 1 {
+		return netip.Prefix{}, 0, errShort
+	}
+	bits := int(b[0])
+	max := 32
+	if v6 {
+		max = 128
+	}
+	if bits > max {
+		return netip.Prefix{}, 0, fmt.Errorf("bgp: prefix length %d exceeds %d", bits, max)
+	}
+	n := (bits + 7) / 8
+	if len(b) < 1+n {
+		return netip.Prefix{}, 0, errShort
+	}
+	var addr netip.Addr
+	if v6 {
+		var a [16]byte
+		copy(a[:], b[1:1+n])
+		addr = netip.AddrFrom16(a)
+	} else {
+		var a [4]byte
+		copy(a[:], b[1:1+n])
+		addr = netip.AddrFrom4(a)
+	}
+	p := netip.PrefixFrom(addr, bits)
+	return p.Masked(), 1 + n, nil
+}
+
+// AppendNLRIs appends a sequence of prefixes in NLRI encoding.
+func AppendNLRIs(dst []byte, ps []netip.Prefix) []byte {
+	for _, p := range ps {
+		dst = AppendNLRI(dst, p)
+	}
+	return dst
+}
+
+// ParseNLRIs decodes a whole buffer of NLRI prefixes.
+func ParseNLRIs(b []byte, v6 bool) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		p, n, err := ParseNLRI(b, v6)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		b = b[n:]
+	}
+	return out, nil
+}

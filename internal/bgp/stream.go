@@ -1,0 +1,34 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ReadMessage reads one complete BGP message (header included) from r.
+// The returned slice is freshly allocated.
+func ReadMessage(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	for _, b := range hdr[:16] {
+		if b != 0xff {
+			return nil, fmt.Errorf("bgp: bad marker in message header")
+		}
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:]))
+	if length < HeaderLen || length > MaxMessageLen {
+		return nil, fmt.Errorf("bgp: bad message length %d", length)
+	}
+	msg := make([]byte, length)
+	copy(msg, hdr)
+	if _, err := io.ReadFull(r, msg[HeaderLen:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return msg, nil
+}

@@ -1,0 +1,105 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// Update is a decoded BGP UPDATE message (RFC 4271 §4.3), restricted to
+// IPv4 unicast plus whatever rides in MP_REACH_NLRI.
+type Update struct {
+	Withdrawn []netip.Prefix
+	Attrs     PathAttributes
+	NLRI      []netip.Prefix
+}
+
+// EncodeUpdate renders a complete BGP message (header included). as4
+// selects 4-byte AS_PATH encoding, as negotiated by the capability on
+// real sessions.
+func EncodeUpdate(u *Update, as4 bool) ([]byte, error) {
+	withdrawn := AppendNLRIs(nil, u.Withdrawn)
+	attrs, err := u.Attrs.Encode(as4)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, 4+len(withdrawn)+len(attrs)+len(u.NLRI)*5)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(withdrawn)))
+	body = append(body, withdrawn...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+	body = append(body, attrs...)
+	body = AppendNLRIs(body, u.NLRI)
+
+	msg, err := AppendHeader(nil, MsgUpdate, len(body))
+	if err != nil {
+		return nil, err
+	}
+	return append(msg, body...), nil
+}
+
+// ParseUpdate decodes a complete BGP message that must be an UPDATE.
+func ParseUpdate(msg []byte, as4 bool) (*Update, error) {
+	typ, body, err := ParseHeader(msg)
+	if err != nil {
+		return nil, err
+	}
+	if typ != MsgUpdate {
+		return nil, errNotUpdate
+	}
+	return ParseUpdateBody(body, as4)
+}
+
+var errNotUpdate = errorString("bgp: message is not an UPDATE")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// ParseUpdateBody decodes an UPDATE body (without the 19-byte header).
+func ParseUpdateBody(body []byte, as4 bool) (*Update, error) {
+	u := &Update{}
+	if len(body) < 2 {
+		return nil, errShort
+	}
+	wlen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < wlen {
+		return nil, errShort
+	}
+	var err error
+	if wlen > 0 {
+		u.Withdrawn, err = ParseNLRIs(body[:wlen], false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	body = body[wlen:]
+	if len(body) < 2 {
+		return nil, errShort
+	}
+	alen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < alen {
+		return nil, errShort
+	}
+	if alen > 0 {
+		attrs, err := ParseAttributes(body[:alen], as4)
+		if err != nil {
+			return nil, err
+		}
+		u.Attrs = *attrs
+	}
+	body = body[alen:]
+	if len(body) > 0 {
+		u.NLRI, err = ParseNLRIs(body, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// EncodeKeepalive renders a KEEPALIVE message.
+func EncodeKeepalive() []byte {
+	msg, _ := AppendHeader(nil, MsgKeepalive, 0)
+	return msg
+}

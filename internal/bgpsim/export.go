@@ -1,0 +1,146 @@
+package bgpsim
+
+import (
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgp"
+	"github.com/asrank-go/asrank/internal/mrt"
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// Community codes used by documenting ASes to describe the relationship
+// over which they learned a route. Code values follow the common
+// operator convention of using value ranges per ingress type.
+const (
+	CommunityFromCustomer = 100
+	CommunityFromPeer     = 200
+	CommunityFromProvider = 300
+)
+
+// PathCommunities builds the relationship-encoding communities that
+// documenting ASes along the path would attach: for a documenting AS X
+// at position i, the relationship between X and path[i+1] — the
+// neighbor X learned the route from — is encoded as X:1xx/2xx/3xx.
+func PathCommunities(topo *topology.Topology, path []uint32, doc map[uint32]bool) []bgp.Community {
+	var out []bgp.Community
+	for i := 0; i+1 < len(path); i++ {
+		x, next := path[i], path[i+1]
+		if !doc[x] || x > 0xffff {
+			continue
+		}
+		var code uint16
+		switch topo.Rel(x, next) {
+		case topology.P2C:
+			code = CommunityFromCustomer
+		case topology.P2P:
+			code = CommunityFromPeer
+		case topology.C2P:
+			code = CommunityFromProvider
+		default:
+			continue // artifact hop with no true relationship
+		}
+		out = append(out, bgp.NewCommunity(uint16(x), code))
+	}
+	return out
+}
+
+// ExportMRT writes the simulated collection as a TABLE_DUMP_V2 RIB
+// snapshot: one peer per VP, one RIB record per prefix, attributes
+// carrying the AS path and the documenting ASes' communities.
+func ExportMRT(w io.Writer, res *Result, timestamp time.Time) error {
+	peerIdx := make(map[uint32]uint16, len(res.VPs))
+	peers := make([]mrt.Peer, len(res.VPs))
+	for i, vp := range res.VPs {
+		peerIdx[vp] = uint16(i)
+		peers[i] = mrt.Peer{
+			BGPID: ipv4(0x0a000000 + uint32(i) + 1), // 10.0.0.x
+			Addr:  ipv4(0xcb007100 + uint32(i) + 1), // 203.0.113.x
+			ASN:   vp,
+		}
+	}
+
+	// Group paths by prefix, preserving deterministic order.
+	byPrefix := make(map[netip.Prefix][]paths.Path)
+	var order []netip.Prefix
+	for _, p := range res.Dataset.Paths {
+		if _, seen := byPrefix[p.Prefix]; !seen {
+			order = append(order, p.Prefix)
+		}
+		byPrefix[p.Prefix] = append(byPrefix[p.Prefix], p)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Addr() != b.Addr() {
+			return a.Addr().Less(b.Addr())
+		}
+		return a.Bits() < b.Bits()
+	})
+
+	rw := mrt.NewRIBWriter(w, ipv4(0xc6336401), res.Dataset.Paths[0].Collector, peers, timestamp)
+	for _, pfx := range order {
+		group := byPrefix[pfx]
+		entries := make([]mrt.RIBEntry, 0, len(group))
+		for _, p := range group {
+			idx, ok := peerIdx[p.VP()]
+			if !ok {
+				continue
+			}
+			entries = append(entries, mrt.RIBEntry{
+				PeerIndex:  idx,
+				Originated: timestamp,
+				Attrs: &bgp.PathAttributes{
+					Origin:      bgp.OriginIGP,
+					ASPath:      bgp.Sequence(p.ASNs...),
+					NextHop:     peers[idx].Addr,
+					Communities: PathCommunities(res.Topo, p.ASNs, res.DocASes),
+				},
+			})
+		}
+		if err := rw.WritePrefix(pfx, entries); err != nil {
+			return err
+		}
+	}
+	return rw.Flush()
+}
+
+func ipv4(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// ValleyFree reports whether path respects Gao–Rexford export rules
+// under the ground-truth relationships: zero or more c2p (uphill) hops,
+// at most one p2p hop, then zero or more p2c (downhill) hops. Paths
+// touching unlinked AS pairs are not valley-free.
+func ValleyFree(topo *topology.Topology, path []uint32) bool {
+	const (
+		up = iota
+		peered
+		down
+	)
+	state := up
+	// The path is recorded collector→origin, but the announcement
+	// traveled origin→collector, so walk it back to front.
+	for j := len(path) - 1; j >= 1; j-- {
+		from, to := path[j], path[j-1]
+		switch topo.Rel(from, to) {
+		case topology.C2P: // announcement climbed customer→provider
+			if state != up {
+				return false
+			}
+		case topology.P2P:
+			if state != up {
+				return false
+			}
+			state = peered
+		case topology.P2C: // announcement descended provider→customer
+			state = down
+		default:
+			return false
+		}
+	}
+	return true
+}

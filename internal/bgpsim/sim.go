@@ -1,0 +1,271 @@
+// Package bgpsim simulates BGP route propagation over a ground-truth AS
+// topology under the Gao–Rexford export model: an AS exports routes
+// learned from customers to everyone, and routes learned from peers or
+// providers only to customers. Route selection prefers customer routes
+// over peer routes over provider routes, then shorter AS paths, then the
+// lower next-hop ASN — a deterministic stand-in for real tie-breaking.
+//
+// The output is the corpus of AS paths a route collector peering with a
+// set of vantage-point (VP) ASes would observe: exactly the input the
+// ASRank inference pipeline consumes in the paper, including its
+// visibility biases (peering links below the VPs' radar are invisible).
+// Optional artifact injection adds the measurement noise the paper's
+// sanitization steps exist to remove: prepending, poisoned paths, and
+// private-ASN leakage.
+package bgpsim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/asrank-go/asrank/internal/stats"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// routeType orders route preference: lower is better.
+type routeType int8
+
+const (
+	rtNone     routeType = iota // no route
+	rtOwn                       // the destination itself
+	rtCustomer                  // learned from a customer
+	rtPeer                      // learned from a peer
+	rtProvider                  // learned from a provider
+)
+
+// Route is one AS's best route toward a destination.
+type Route struct {
+	Type routeType
+	Len  int    // AS hops to the destination
+	Next uint32 // next-hop ASN (undefined for rtOwn)
+}
+
+// Valid reports whether the AS has any route.
+func (r Route) Valid() bool { return r.Type != rtNone }
+
+// Sim holds the indexed topology shared by per-destination propagations.
+type Sim struct {
+	topo *topology.Topology
+	asns []uint32       // dense index -> ASN, ascending
+	idx  map[uint32]int // ASN -> dense index
+
+	providers [][]int32 // dense adjacency
+	customers [][]int32
+	peers     [][]int32
+}
+
+// New indexes a topology for propagation.
+func New(topo *topology.Topology) *Sim {
+	asns := append([]uint32(nil), topo.ASNs()...)
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	s := &Sim{
+		topo:      topo,
+		asns:      asns,
+		idx:       make(map[uint32]int, len(asns)),
+		providers: make([][]int32, len(asns)),
+		customers: make([][]int32, len(asns)),
+		peers:     make([][]int32, len(asns)),
+	}
+	for i, asn := range asns {
+		s.idx[asn] = i
+	}
+	toIdx := func(list []uint32) []int32 {
+		out := make([]int32, len(list))
+		for i, a := range list {
+			out[i] = int32(s.idx[a])
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for i, asn := range asns {
+		a := topo.AS(asn)
+		s.providers[i] = toIdx(a.Providers)
+		s.customers[i] = toIdx(a.Customers)
+		s.peers[i] = toIdx(a.Peers)
+	}
+	return s
+}
+
+// NumASes returns the number of ASes in the indexed topology.
+func (s *Sim) NumASes() int { return len(s.asns) }
+
+// RoutesTo computes every AS's best route toward destination dst using
+// three-phase valley-free propagation. The returned slice is indexed by
+// the simulator's dense AS index; use Path to extract a full AS path.
+func (s *Sim) RoutesTo(dst uint32) ([]Route, error) {
+	d, ok := s.idx[dst]
+	if !ok {
+		return nil, fmt.Errorf("bgpsim: unknown destination AS %d", dst)
+	}
+	routes := make([]Route, len(s.asns))
+	routes[d] = Route{Type: rtOwn, Len: 0}
+
+	// Phase 1: customer routes climb provider edges, BFS by level so
+	// shorter paths win; within a level the lowest-ASN exporter wins
+	// because frontiers are kept sorted and candidates only improve.
+	frontier := []int32{int32(d)}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, x := range frontier {
+			for _, p := range s.providers[x] {
+				if routes[p].Valid() {
+					continue
+				}
+				// Tentatively mark; since frontier is ASN-sorted and we
+				// never overwrite, the lowest exporter at this level wins.
+				routes[p] = Route{Type: rtCustomer, Len: routes[x].Len + 1, Next: s.asns[x]}
+				next = append(next, p)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+
+	// Phase 2: one peer hop. Every AS with an own/customer route offers
+	// it to peers; receivers without a customer route take the best
+	// offer (shortest, then lowest exporter ASN). Offers are based on
+	// phase-1 state only, so iteration order cannot leak peer routes.
+	type offer struct {
+		len  int
+		from int32
+	}
+	best := make(map[int32]offer)
+	for x := range s.asns {
+		r := routes[x]
+		if r.Type != rtOwn && r.Type != rtCustomer {
+			continue
+		}
+		for _, y := range s.peers[x] {
+			if routes[y].Type == rtOwn || routes[y].Type == rtCustomer {
+				continue
+			}
+			o, seen := best[y]
+			cand := offer{len: r.Len + 1, from: int32(x)}
+			if !seen || cand.len < o.len || (cand.len == o.len && s.asns[cand.from] < s.asns[o.from]) {
+				best[y] = cand
+			}
+		}
+	}
+	for y, o := range best {
+		routes[y] = Route{Type: rtPeer, Len: o.len, Next: s.asns[o.from]}
+	}
+
+	// Phase 3: routes descend customer edges (provider routes). A
+	// bucket queue by path length implements multi-source BFS; existing
+	// routes of any type are never displaced (type precedence).
+	buckets := make([][]int32, 1, 16)
+	push := func(x int32, length int) {
+		for len(buckets) <= length {
+			buckets = append(buckets, nil)
+		}
+		buckets[length] = append(buckets[length], x)
+	}
+	for x := range s.asns {
+		if routes[x].Valid() {
+			push(int32(x), routes[x].Len)
+		}
+	}
+	for length := 0; length < len(buckets); length++ {
+		level := buckets[length]
+		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+		for _, x := range level {
+			if routes[x].Len != length {
+				continue // stale entry
+			}
+			for _, c := range s.customers[x] {
+				if routes[c].Valid() {
+					continue
+				}
+				routes[c] = Route{Type: rtProvider, Len: length + 1, Next: s.asns[x]}
+				push(c, length+1)
+			}
+		}
+	}
+	return routes, nil
+}
+
+// Path returns the full AS path from src toward the destination the
+// routes slice was computed for: src first, destination last. It returns
+// nil if src has no route.
+func (s *Sim) Path(routes []Route, src uint32) []uint32 {
+	x, ok := s.idx[src]
+	if !ok || !routes[x].Valid() {
+		return nil
+	}
+	path := []uint32{src}
+	for routes[x].Type != rtOwn {
+		nxt := routes[x].Next
+		path = append(path, nxt)
+		x = s.idx[nxt]
+		if len(path) > len(s.asns) {
+			panic("bgpsim: next-hop cycle") // cannot happen if RoutesTo is correct
+		}
+	}
+	return path
+}
+
+// RouteTypeAt reports how src learned its route (own, customer, peer,
+// provider) in a routes slice, for partial-feed modeling.
+func (s *Sim) RouteTypeAt(routes []Route, src uint32) routeType {
+	x, ok := s.idx[src]
+	if !ok {
+		return rtNone
+	}
+	return routes[x].Type
+}
+
+// SelectVPs picks vantage-point ASes the way real collector deployments
+// skew: mostly transit networks of varying size, a few tier-1s, a few
+// stubs. The choice is deterministic in the seed.
+func SelectVPs(topo *topology.Topology, n int, seed int64) []uint32 {
+	rng := stats.NewRNG(seed)
+	var tier1, transit, stub []uint32
+	for _, asn := range topo.ASNs() {
+		switch topo.AS(asn).Class {
+		case topology.ClassTier1:
+			tier1 = append(tier1, asn)
+		case topology.ClassTransit:
+			transit = append(transit, asn)
+		case topology.ClassStub:
+			stub = append(stub, asn)
+		}
+	}
+	sort.Slice(tier1, func(i, j int) bool { return tier1[i] < tier1[j] })
+	sort.Slice(transit, func(i, j int) bool { return transit[i] < transit[j] })
+	sort.Slice(stub, func(i, j int) bool { return stub[i] < stub[j] })
+
+	take := func(pool []uint32, k int) []uint32 {
+		if k > len(pool) {
+			k = len(pool)
+		}
+		idxs := rng.SampleInts(len(pool), k)
+		sort.Ints(idxs)
+		out := make([]uint32, 0, k)
+		for _, i := range idxs {
+			out = append(out, pool[i])
+		}
+		return out
+	}
+	nT1 := n / 5
+	nStub := n / 5
+	nTransit := n - nT1 - nStub
+	vps := append(take(tier1, nT1), take(transit, nTransit)...)
+	vps = append(vps, take(stub, nStub)...)
+	// Top up from transit if a pool ran short.
+	if len(vps) < n {
+		seen := make(map[uint32]bool, len(vps))
+		for _, v := range vps {
+			seen[v] = true
+		}
+		for _, tr := range transit {
+			if len(vps) >= n {
+				break
+			}
+			if !seen[tr] {
+				vps = append(vps, tr)
+			}
+		}
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	return vps
+}

@@ -1,0 +1,187 @@
+package bgpsim
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgp"
+	"github.com/asrank-go/asrank/internal/mrt"
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+func TestExportUpdatesRoundTrip(t *testing.T) {
+	p := topology.DefaultParams(61)
+	p.ASes = 200
+	topo := topology.Generate(p)
+	opts := DefaultOptions(61)
+	opts.NumVPs = 6
+	opts.PrependRate, opts.PoisonRate, opts.PrivateLeakRate = 0, 0, 0
+	res, err := Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	start := time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	if err := ExportUpdates(&buf, res, start); err != nil {
+		t.Fatal(err)
+	}
+	ds, st, err := paths.FromMRTUpdates(&buf, "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StateChanges != len(res.VPs) {
+		t.Errorf("state changes = %d, want %d", st.StateChanges, len(res.VPs))
+	}
+	if st.Announced != res.Dataset.NumPaths() {
+		t.Errorf("announced %d prefixes, want %d", st.Announced, res.Dataset.NumPaths())
+	}
+	if ds.NumPaths() != res.Dataset.NumPaths() {
+		t.Fatalf("trace yields %d paths, RIB had %d", ds.NumPaths(), res.Dataset.NumPaths())
+	}
+	// Same multiset of (VP, prefix, path).
+	want := map[string]int{}
+	key := func(p paths.Path) string {
+		s := p.Prefix.String() + "|"
+		for _, a := range p.ASNs {
+			s += " " + string(rune(a+33))
+		}
+		return s
+	}
+	for _, p := range res.Dataset.Paths {
+		want[key(p)]++
+	}
+	for _, p := range ds.Paths {
+		want[key(p)]--
+	}
+	for k, v := range want {
+		if v != 0 {
+			t.Fatalf("multiset mismatch at %q: %d", k, v)
+		}
+	}
+}
+
+func TestFromMRTUpdatesWithdrawal(t *testing.T) {
+	// Announce then withdraw one prefix: the converged RIB drops it.
+	p := topology.DefaultParams(62)
+	p.ASes = 150
+	topo := topology.Generate(p)
+	opts := DefaultOptions(62)
+	opts.NumVPs = 3
+	opts.PrependRate, opts.PoisonRate, opts.PrivateLeakRate = 0, 0, 0
+	res, err := Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	start := time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)
+	if err := ExportUpdates(&buf, res, start); err != nil {
+		t.Fatal(err)
+	}
+	// Append a withdrawal for the first path's prefix from its VP.
+	first := res.Dataset.Paths[0]
+	withdraw(t, &buf, res, first, start.Add(time.Hour))
+
+	ds, st, err := paths.FromMRTUpdates(&buf, "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Withdrawn != 1 {
+		t.Errorf("withdrawn = %d", st.Withdrawn)
+	}
+	if ds.NumPaths() != res.Dataset.NumPaths()-1 {
+		t.Errorf("paths after withdrawal = %d, want %d", ds.NumPaths(), res.Dataset.NumPaths()-1)
+	}
+	for _, p := range ds.Paths {
+		if p.VP() == first.VP() && p.Prefix == first.Prefix {
+			t.Fatal("withdrawn route still present")
+		}
+	}
+}
+
+func TestRouteServerInsertionAndSanitize(t *testing.T) {
+	p := topology.DefaultParams(63)
+	p.ASes = 300
+	topo := topology.Generate(p)
+	opts := DefaultOptions(63)
+	opts.NumVPs = 10
+	opts.PrependRate, opts.PoisonRate, opts.PrivateLeakRate = 0, 0, 0
+	opts.RouteServers = 3
+	opts.RSInsertProb = 0.2
+	res, err := Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RouteServerASNs) != 3 {
+		t.Fatalf("route servers = %v", res.RouteServerASNs)
+	}
+	if res.Artifacts.RouteServers == 0 {
+		t.Fatal("no route-server hops injected")
+	}
+	// Route-server ASNs must not collide with real ASes.
+	for _, rs := range res.RouteServerASNs {
+		if topo.AS(rs) != nil {
+			t.Fatalf("route server %d collides with a real AS", rs)
+		}
+	}
+
+	ixp := map[uint32]bool{}
+	for _, rs := range res.RouteServerASNs {
+		ixp[rs] = true
+	}
+	// Injection is counted per (VP, origin); the corpus replicates each
+	// path once per originated prefix, so splice counts are at least as
+	// large.
+	clean, st := paths.Sanitize(res.Dataset, paths.SanitizeOptions{IXPASes: ixp})
+	if st.IXPSpliced < res.Artifacts.RouteServers {
+		t.Errorf("spliced %d < injected %d", st.IXPSpliced, res.Artifacts.RouteServers)
+	}
+	for _, path := range clean.Paths {
+		for _, a := range path.ASNs {
+			if ixp[a] {
+				t.Fatal("route-server ASN survived sanitization")
+			}
+		}
+	}
+	// Without the IXP list, the RS hops would corrupt links; with it,
+	// every remaining link is a true link.
+	truth := topo.Links()
+	for l := range clean.Links() {
+		if _, ok := truth[l]; !ok {
+			t.Fatalf("spliced corpus contains non-topology link %v", l)
+		}
+	}
+}
+
+// withdraw appends a BGP4MP withdrawal record for path's prefix.
+func withdraw(t *testing.T, buf *bytes.Buffer, res *Result, p paths.Path, ts time.Time) {
+	t.Helper()
+	var peerIdx uint32
+	for i, vp := range res.VPs {
+		if vp == p.VP() {
+			peerIdx = uint32(i)
+		}
+	}
+	msg, err := bgp.EncodeUpdate(&bgp.Update{Withdrawn: []netip.Prefix{p.Prefix}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &mrt.Record{
+		Timestamp: ts,
+		Type:      mrt.TypeBGP4MP,
+		Subtype:   mrt.SubtypeMessageAS4,
+		Body: &mrt.BGP4MPMessage{
+			PeerAS:    p.VP(),
+			LocalAS:   64497,
+			PeerAddr:  ipv4(0xcb007100 + peerIdx + 1),
+			LocalAddr: ipv4(0xc6336402),
+			AS4:       true,
+			Data:      msg,
+		},
+	}
+	if err := mrt.NewWriter(buf).WriteRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+}

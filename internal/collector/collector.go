@@ -1,0 +1,274 @@
+// Package collector implements a miniature BGP route collector — the
+// kind of infrastructure (Route Views, RIPE RIS) whose archives the
+// paper's inference consumes. The Server accepts BGP sessions over TCP,
+// negotiates the four-byte-AS capability, gathers every announced path
+// into a corpus, and optionally archives the raw messages as BGP4MP MRT
+// records. The Replay client (replay.go) plays a simulated collection
+// into it, closing the loop: simulator → BGP over TCP → collector →
+// MRT → inference.
+package collector
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgp"
+	"github.com/asrank-go/asrank/internal/mrt"
+	"github.com/asrank-go/asrank/internal/paths"
+)
+
+// Options configures a collector.
+type Options struct {
+	// LocalAS is the collector's AS number (default 64497).
+	LocalAS uint32
+	// BGPID is the collector's router ID (default 198.51.100.1).
+	BGPID netip.Addr
+	// HoldTime in seconds governs the session read deadline (default 90).
+	HoldTime uint16
+	// Archive, when non-nil, receives every UPDATE as a BGP4MP
+	// MESSAGE_AS4 MRT record. Writes are serialized by the server.
+	Archive io.Writer
+	// Collector names the corpus entries (default "collector").
+	Collector string
+	// Logf, when non-nil, receives session lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.LocalAS == 0 {
+		o.LocalAS = 64497
+	}
+	if !o.BGPID.IsValid() {
+		o.BGPID = netip.AddrFrom4([4]byte{198, 51, 100, 1})
+	}
+	if o.HoldTime == 0 {
+		o.HoldTime = 90
+	}
+	if o.Collector == "" {
+		o.Collector = "collector"
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is a running collector.
+type Server struct {
+	opts Options
+	ln   net.Listener
+
+	mu       sync.Mutex
+	ds       *paths.Dataset
+	mw       *mrt.Writer
+	sessions int
+	updates  int
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// Listen starts a collector on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	s := &Server{
+		opts:    opts,
+		ln:      ln,
+		ds:      &paths.Dataset{},
+		closing: make(chan struct{}),
+	}
+	if opts.Archive != nil {
+		s.mw = mrt.NewWriter(opts.Archive)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, waits for in-flight sessions, and returns.
+func (s *Server) Close() error {
+	close(s.closing)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Corpus returns a snapshot of everything announced so far.
+func (s *Server) Corpus() *paths.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &paths.Dataset{Paths: append([]paths.Path(nil), s.ds.Paths...)}
+	return out
+}
+
+// Stats returns the number of completed sessions and recorded updates.
+func (s *Server) Stats() (sessions, updates int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions, s.updates
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return
+			default:
+			}
+			s.opts.Logf("collector: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.serve(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.opts.Logf("collector: session %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// serve runs one BGP session to completion.
+func (s *Server) serve(conn net.Conn) error {
+	defer conn.Close()
+	deadline := time.Duration(s.opts.HoldTime) * time.Second
+	br := bufio.NewReader(conn)
+
+	readMsg := func() (uint8, []byte, []byte, error) {
+		if err := conn.SetReadDeadline(time.Now().Add(deadline)); err != nil {
+			return 0, nil, nil, err
+		}
+		raw, err := bgp.ReadMessage(br)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		typ, body, err := bgp.ParseHeader(raw)
+		return typ, body, raw, err
+	}
+
+	// Session establishment: OPEN in, OPEN + KEEPALIVE out.
+	typ, body, _, err := readMsg()
+	if err != nil {
+		return fmt.Errorf("reading OPEN: %w", err)
+	}
+	if typ != bgp.MsgOpen {
+		return fmt.Errorf("expected OPEN, got type %d", typ)
+	}
+	peer, err := bgp.ParseOpenBody(body)
+	if err != nil {
+		return fmt.Errorf("parsing OPEN: %w", err)
+	}
+	ourOpen, err := bgp.EncodeOpen(&bgp.Open{
+		ASN:      s.opts.LocalAS,
+		HoldTime: s.opts.HoldTime,
+		BGPID:    s.opts.BGPID,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(ourOpen); err != nil {
+		return err
+	}
+	if _, err := conn.Write(bgp.EncodeKeepalive()); err != nil {
+		return err
+	}
+	as4 := peer.FourByteAS // we always offer it; effective iff both do
+	s.opts.Logf("collector: session up with AS%d (%v, as4=%v)", peer.ASN, conn.RemoteAddr(), as4)
+
+	defer func() {
+		s.mu.Lock()
+		s.sessions++
+		s.mu.Unlock()
+	}()
+
+	for {
+		typ, body, raw, err := readMsg()
+		if err != nil {
+			return fmt.Errorf("reading message from AS%d: %w", peer.ASN, err)
+		}
+		switch typ {
+		case bgp.MsgKeepalive:
+			// Keepalives refresh the hold timer (the read deadline);
+			// they are timer-driven, not echoed, so nothing is written —
+			// writing here would leave unread data at a departing peer
+			// and turn its close into a reset that destroys buffered
+			// updates.
+		case bgp.MsgUpdate:
+			upd, err := bgp.ParseUpdateBody(body, as4)
+			if err != nil {
+				return fmt.Errorf("parsing UPDATE from AS%d: %w", peer.ASN, err)
+			}
+			s.record(conn, peer, upd, raw, as4)
+		case bgp.MsgNotification:
+			return nil // orderly teardown
+		default:
+			return fmt.Errorf("unexpected message type %d from AS%d", typ, peer.ASN)
+		}
+	}
+}
+
+// record stores an UPDATE's announcements and archives the raw message.
+func (s *Server) record(conn net.Conn, peer *bgp.Open, upd *bgp.Update, raw []byte, as4 bool) {
+	asPath := upd.Attrs.Path().Flatten()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updates++
+	if len(upd.NLRI) > 0 && len(asPath) > 0 && !upd.Attrs.Path().HasSet() {
+		asns := asPath
+		if asns[0] != peer.ASN {
+			asns = append([]uint32{peer.ASN}, asns...)
+		}
+		for _, pfx := range upd.NLRI {
+			s.ds.Add(paths.Path{Collector: s.opts.Collector, Prefix: pfx, ASNs: asns})
+		}
+	}
+	if s.mw != nil {
+		peerAddr := addrOf(conn.RemoteAddr())
+		localAddr := addrOf(conn.LocalAddr())
+		sub := uint16(mrt.SubtypeMessageAS4)
+		if !as4 {
+			sub = mrt.SubtypeMessage
+		}
+		rec := &mrt.Record{
+			Timestamp: time.Now().UTC(),
+			Type:      mrt.TypeBGP4MP,
+			Subtype:   sub,
+			Body: &mrt.BGP4MPMessage{
+				PeerAS:    peer.ASN,
+				LocalAS:   s.opts.LocalAS,
+				PeerAddr:  peerAddr,
+				LocalAddr: localAddr,
+				AS4:       as4,
+				Data:      raw,
+			},
+		}
+		if err := s.mw.WriteRecord(rec); err != nil {
+			s.opts.Logf("collector: archive: %v", err)
+		}
+	}
+}
+
+func addrOf(a net.Addr) netip.Addr {
+	if ta, ok := a.(*net.TCPAddr); ok {
+		if ip, ok := netip.AddrFromSlice(ta.IP); ok {
+			return ip.Unmap()
+		}
+	}
+	return netip.AddrFrom4([4]byte{0, 0, 0, 0})
+}

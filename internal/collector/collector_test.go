@@ -1,0 +1,218 @@
+package collector
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgp"
+	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/mrt"
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/validation"
+)
+
+func simResult(t *testing.T, seed int64, ases, vps int) *bgpsim.Result {
+	t.Helper()
+	p := topology.DefaultParams(seed)
+	p.ASes = ases
+	topo := topology.Generate(p)
+	opts := bgpsim.DefaultOptions(seed)
+	opts.NumVPs = vps
+	opts.PrependRate, opts.PoisonRate, opts.PrivateLeakRate = 0, 0, 0
+	res, err := bgpsim.Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCollectorEndToEnd(t *testing.T) {
+	res := simResult(t, 71, 200, 5)
+	var archive bytes.Buffer
+	srv, err := Listen("127.0.0.1:0", Options{Archive: &archive, Collector: "tcp-test", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayAll(srv.Addr().String(), res, ReplayOptions{Timeout: 20 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sessions, updates := srv.Stats()
+	if sessions != len(res.VPs) {
+		t.Errorf("sessions = %d, want %d", sessions, len(res.VPs))
+	}
+	if updates == 0 {
+		t.Fatal("no updates recorded")
+	}
+
+	// The collected corpus must equal the simulated one as a multiset of
+	// (prefix, path).
+	got := srv.Corpus()
+	if got.NumPaths() != res.Dataset.NumPaths() {
+		t.Fatalf("collected %d paths, want %d", got.NumPaths(), res.Dataset.NumPaths())
+	}
+	want := map[string]int{}
+	key := func(p paths.Path) string {
+		s := p.Prefix.String()
+		for _, a := range p.ASNs {
+			s += " " + string(rune(a+40))
+		}
+		return s
+	}
+	for _, p := range res.Dataset.Paths {
+		want[key(p)]++
+	}
+	for _, p := range got.Paths {
+		want[key(p)]--
+	}
+	for k, v := range want {
+		if v != 0 {
+			t.Fatalf("corpus multiset mismatch at %q: %d", k, v)
+		}
+	}
+
+	// The MRT archive must replay into the same corpus.
+	ds, st, err := paths.FromMRTUpdates(bytes.NewReader(archive.Bytes()), "tcp-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != updates {
+		t.Errorf("archive holds %d updates, server recorded %d", st.Updates, updates)
+	}
+	if ds.NumPaths() != res.Dataset.NumPaths() {
+		t.Errorf("archived corpus has %d paths, want %d", ds.NumPaths(), res.Dataset.NumPaths())
+	}
+
+	// And inference over the TCP-collected corpus matches ground truth.
+	inf := core.Infer(got, core.Options{Sanitize: true})
+	m := validation.Evaluate(inf.Rels, res.Topo.Links())
+	if m.C2PPPV() < 0.9 {
+		t.Errorf("c2p PPV over collected corpus = %.3f", m.C2PPPV())
+	}
+}
+
+func TestCollectorCommunitiesSurviveTCP(t *testing.T) {
+	res := simResult(t, 72, 150, 4)
+	var archive bytes.Buffer
+	srv, err := Listen("127.0.0.1:0", Options{Archive: &archive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayAll(srv.Addr().String(), res, ReplayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the BGP4MP archive and recover the communities the speakers
+	// attached; they must agree with ground truth exactly.
+	rels := map[paths.Link]topology.Relationship{}
+	mr := mrt.NewReader(bytes.NewReader(archive.Bytes()))
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, ok := rec.Body.(*mrt.BGP4MPMessage)
+		if !ok {
+			continue
+		}
+		upd, err := msg.Update()
+		if err != nil {
+			continue
+		}
+		path := upd.Attrs.Path().Flatten()
+		if len(path) == 0 {
+			continue
+		}
+		if path[0] != msg.PeerAS {
+			path = append([]uint32{msg.PeerAS}, path...)
+		}
+		for l, rel := range validation.FromPathCommunities(path, upd.Attrs.Communities) {
+			rels[l] = rel
+		}
+	}
+	if len(rels) == 0 {
+		t.Fatal("no community relationships in archive")
+	}
+	truth := res.Topo.Links()
+	for l, r := range rels {
+		if truth[l] != r {
+			t.Fatalf("link %v: community says %v, truth %v", l, r, truth[l])
+		}
+	}
+}
+
+func TestCollectorRejectsGarbage(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop the session: reads hit EOF once the close
+	// propagates.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for i := 0; i < 4; i++ {
+		if _, err := conn.Read(buf); err != nil {
+			return // dropped, as expected
+		}
+	}
+	t.Error("server kept a garbage session alive")
+}
+
+func TestCollectorCloseUnblocksAccept(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := &bgp.Open{ASN: 4200000001, HoldTime: 180, BGPID: netip.MustParseAddr("10.0.0.1")}
+	msg, err := bgp.EncodeOpen(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bgp.ParseOpen(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ASN != o.ASN || !got.FourByteAS || got.HoldTime != 180 || got.BGPID != o.BGPID {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.Version != 4 {
+		t.Errorf("version = %d", got.Version)
+	}
+}

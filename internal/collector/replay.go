@@ -1,0 +1,151 @@
+package collector
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgp"
+	"github.com/asrank-go/asrank/internal/bgpsim"
+)
+
+// ReplayOptions configures one replay session.
+type ReplayOptions struct {
+	// HoldTime in seconds for the speaker's side (default 90).
+	HoldTime uint16
+	// BGPID of the speaker (default derived from the VP ASN).
+	BGPID netip.Addr
+	// Timeout bounds the whole session (default 30s).
+	Timeout time.Duration
+}
+
+// Replay dials a collector and announces every path the given vantage
+// point holds in the simulated collection, then tears the session down
+// with a CEASE notification. It is the client half of the collector:
+// simulator → BGP over TCP → collector.
+func Replay(addr string, res *bgpsim.Result, vp uint32, opts ReplayOptions) error {
+	if opts.HoldTime == 0 {
+		opts.HoldTime = 90
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if !opts.BGPID.IsValid() {
+		opts.BGPID = netip.AddrFrom4([4]byte{10, byte(vp >> 16), byte(vp >> 8), byte(vp)})
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(opts.Timeout)); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+
+	open, err := bgp.EncodeOpen(&bgp.Open{ASN: vp, HoldTime: opts.HoldTime, BGPID: opts.BGPID})
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(open); err != nil {
+		return err
+	}
+	// Expect the collector's OPEN, then exchange keepalives.
+	msg, err := bgp.ReadMessage(br)
+	if err != nil {
+		return fmt.Errorf("replay: reading OPEN: %w", err)
+	}
+	if _, err := bgp.ParseOpen(msg); err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	if _, err := conn.Write(bgp.EncodeKeepalive()); err != nil {
+		return err
+	}
+	if msg, err = bgp.ReadMessage(br); err != nil {
+		return fmt.Errorf("replay: reading KEEPALIVE: %w", err)
+	}
+	if typ, _, err := bgp.ParseHeader(msg); err != nil || typ != bgp.MsgKeepalive {
+		return fmt.Errorf("replay: expected KEEPALIVE, got type %d (err %v)", typ, err)
+	}
+
+	// Announce, packing prefixes that share a path into one UPDATE.
+	type group struct {
+		key  string
+		path []uint32
+		upd  *bgp.Update
+	}
+	groups := map[string]*group{}
+	for _, p := range res.Dataset.Paths {
+		if p.VP() != vp {
+			continue
+		}
+		key := fmt.Sprint(p.ASNs)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{
+				key:  key,
+				path: p.ASNs,
+				upd: &bgp.Update{Attrs: bgp.PathAttributes{
+					Origin:      bgp.OriginIGP,
+					ASPath:      bgp.Sequence(p.ASNs...),
+					NextHop:     opts.BGPID,
+					Communities: bgpsim.PathCommunities(res.Topo, p.ASNs, res.DocASes),
+				}},
+			}
+			groups[key] = g
+		}
+		g.upd.NLRI = append(g.upd.NLRI, p.Prefix)
+	}
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+	for _, g := range ordered {
+		nlri := g.upd.NLRI
+		for len(nlri) > 0 {
+			chunk := nlri
+			if len(chunk) > 200 {
+				chunk = chunk[:200]
+			}
+			nlri = nlri[len(chunk):]
+			one := *g.upd
+			one.NLRI = chunk
+			msg, err := bgp.EncodeUpdate(&one, true)
+			if err != nil {
+				return err
+			}
+			if _, err := conn.Write(msg); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Orderly teardown.
+	if _, err := conn.Write(bgp.EncodeNotification(bgp.NotifCease, 0)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReplayAll replays every VP of a simulated collection concurrently and
+// returns the first error.
+func ReplayAll(addr string, res *bgpsim.Result, opts ReplayOptions) error {
+	errs := make(chan error, len(res.VPs))
+	for _, vp := range res.VPs {
+		go func(vp uint32) {
+			errs <- Replay(addr, res, vp, opts)
+		}(vp)
+	}
+	var first error
+	for range res.VPs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,304 @@
+// Package cone computes customer cones — the set of ASes an AS can
+// reach by only traversing customer links — under the three definitions
+// the paper compares:
+//
+//   - Recursive: the transitive closure of inferred p2c links. The
+//     loosest definition; it overcounts because a multihomed customer
+//     need not actually route through every provider.
+//   - BGP-observed: only ASes seen in actual BGP paths descending from
+//     the AS along observed customer links.
+//   - Provider/peer observed (PP): only ASes seen in paths that *enter*
+//     the AS from one of its providers or peers and then descend — the
+//     strictest evidence, and the definition CAIDA's AS Rank uses.
+//
+// For every AS: PP cone ⊆ BGP-observed cone ⊆ recursive cone, and the
+// AS is always in its own cone.
+package cone
+
+import (
+	"sort"
+
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// Sets maps each AS to its cone membership set (which includes the AS
+// itself).
+type Sets map[uint32]map[uint32]bool
+
+// Sizes returns per-AS cone sizes in number of ASes.
+func (s Sets) Sizes() map[uint32]int {
+	out := make(map[uint32]int, len(s))
+	for asn, cone := range s {
+		out[asn] = len(cone)
+	}
+	return out
+}
+
+// PrefixWeighted returns per-AS cone sizes weighted by the number of
+// prefixes each cone member originates (the paper's "cone by prefixes").
+func (s Sets) PrefixWeighted(prefixCount map[uint32]int) map[uint32]int {
+	out := make(map[uint32]int, len(s))
+	for asn, cone := range s {
+		total := 0
+		for member := range cone {
+			total += prefixCount[member]
+		}
+		out[asn] = total
+	}
+	return out
+}
+
+// AddressWeighted returns per-AS cone sizes weighted by the number of
+// IPv4 addresses each cone member originates (the paper's "cone by
+// addresses"), given per-AS address counts — see AddressCounts.
+func (s Sets) AddressWeighted(addrCount map[uint32]int64) map[uint32]int64 {
+	out := make(map[uint32]int64, len(s))
+	for asn, cone := range s {
+		var total int64
+		for member := range cone {
+			total += addrCount[member]
+		}
+		out[asn] = total
+	}
+	return out
+}
+
+// AddressCounts sums the address span of each origin's prefixes from a
+// path corpus: a /24 contributes 256 addresses. Overlapping prefixes
+// from the same origin are counted once per distinct prefix, which
+// matches how the paper counts routed space.
+func AddressCounts(ds *paths.Dataset) map[uint32]int64 {
+	seen := make(map[uint32]map[string]bool)
+	out := make(map[uint32]int64)
+	for _, p := range ds.Paths {
+		if !p.Prefix.IsValid() || !p.Prefix.Addr().Is4() {
+			continue
+		}
+		origin := p.Origin()
+		m, ok := seen[origin]
+		if !ok {
+			m = make(map[string]bool)
+			seen[origin] = m
+		}
+		key := p.Prefix.String()
+		if m[key] {
+			continue
+		}
+		m[key] = true
+		out[origin] += int64(1) << (32 - p.Prefix.Bits())
+	}
+	return out
+}
+
+// PrefixCounts counts each origin's distinct prefixes in a corpus.
+func PrefixCounts(ds *paths.Dataset) map[uint32]int {
+	seen := make(map[uint32]map[string]bool)
+	out := make(map[uint32]int)
+	for _, p := range ds.Paths {
+		if !p.Prefix.IsValid() {
+			continue
+		}
+		origin := p.Origin()
+		m, ok := seen[origin]
+		if !ok {
+			m = make(map[string]bool)
+			seen[origin] = m
+		}
+		key := p.Prefix.String()
+		if m[key] {
+			continue
+		}
+		m[key] = true
+		out[origin]++
+	}
+	return out
+}
+
+// Relations indexes an inferred (or ground-truth) relationship set for
+// cone computation.
+type Relations struct {
+	customers map[uint32][]uint32
+	rel       map[paths.Link]topology.Relationship
+	ases      []uint32
+}
+
+// NewRelations indexes rels, whose orientation is canonical (relative to
+// Link.A, as produced by core.Infer and topology.Links).
+func NewRelations(rels map[paths.Link]topology.Relationship) *Relations {
+	r := &Relations{
+		customers: make(map[uint32][]uint32),
+		rel:       make(map[paths.Link]topology.Relationship, len(rels)),
+	}
+	seen := make(map[uint32]bool)
+	for l, rel := range rels {
+		r.rel[l] = rel
+		switch rel {
+		case topology.P2C:
+			r.customers[l.A] = append(r.customers[l.A], l.B)
+		case topology.C2P:
+			r.customers[l.B] = append(r.customers[l.B], l.A)
+		}
+		if !seen[l.A] {
+			seen[l.A] = true
+			r.ases = append(r.ases, l.A)
+		}
+		if !seen[l.B] {
+			seen[l.B] = true
+			r.ases = append(r.ases, l.B)
+		}
+	}
+	sort.Slice(r.ases, func(i, j int) bool { return r.ases[i] < r.ases[j] })
+	for _, cs := range r.customers {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return r
+}
+
+// Rel returns the relationship of x relative to y (P2C: x provides to y).
+func (r *Relations) Rel(x, y uint32) topology.Relationship {
+	rel, ok := r.rel[paths.NewLink(x, y)]
+	if !ok {
+		return topology.None
+	}
+	if paths.NewLink(x, y).A == x {
+		return rel
+	}
+	return rel.Invert()
+}
+
+// ASes returns every AS appearing in the relationship set, ascending.
+func (r *Relations) ASes() []uint32 { return r.ases }
+
+// Recursive computes the transitive-closure customer cone of every AS.
+func (r *Relations) Recursive() Sets {
+	out := make(Sets, len(r.ases))
+	for _, asn := range r.ases {
+		cone := map[uint32]bool{}
+		stack := []uint32{asn}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cone[x] {
+				continue
+			}
+			cone[x] = true
+			stack = append(stack, r.customers[x]...)
+		}
+		out[asn] = cone
+	}
+	return out
+}
+
+// RecursiveOne computes a single AS's recursive cone.
+func (r *Relations) RecursiveOne(asn uint32) map[uint32]bool {
+	cone := map[uint32]bool{}
+	stack := []uint32{asn}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cone[x] {
+			continue
+		}
+		cone[x] = true
+		stack = append(stack, r.customers[x]...)
+	}
+	return cone
+}
+
+// BGPObserved computes cones from observed paths: starting at each
+// position where the next hop is one of the AS's customers, every AS on
+// the maximal descending (p2c) chain is in the cone.
+func (r *Relations) BGPObserved(ds *paths.Dataset) Sets {
+	out := r.selfCones()
+	for _, p := range ds.Paths {
+		r.addChains(out, p.ASNs, false)
+	}
+	return out
+}
+
+// ProviderPeerObserved computes the PP cone: like BGPObserved, but a
+// position only contributes when the path entered the AS from one of
+// its providers or peers — third parties demonstrably routing through
+// the AS to reach the cone member.
+func (r *Relations) ProviderPeerObserved(ds *paths.Dataset) Sets {
+	out := r.selfCones()
+	for _, p := range ds.Paths {
+		r.addChains(out, p.ASNs, true)
+	}
+	return out
+}
+
+func (r *Relations) selfCones() Sets {
+	out := make(Sets, len(r.ases))
+	for _, asn := range r.ases {
+		out[asn] = map[uint32]bool{asn: true}
+	}
+	return out
+}
+
+// addChains walks one path and credits descending chains to cones.
+// With needEntry, a chain from position i is credited only when hop
+// i-1 → i comes from a provider or peer of path[i].
+func (r *Relations) addChains(out Sets, asns []uint32, needEntry bool) {
+	// descendTo[i] is the furthest index reachable from i by consecutive
+	// p2c hops; computed right to left.
+	n := len(asns)
+	if n < 2 {
+		return
+	}
+	descendTo := make([]int, n)
+	descendTo[n-1] = n - 1
+	for i := n - 2; i >= 0; i-- {
+		if r.Rel(asns[i], asns[i+1]) == topology.P2C {
+			descendTo[i] = descendTo[i+1]
+		} else {
+			descendTo[i] = i
+		}
+	}
+	for i := 0; i < n-1; i++ {
+		if descendTo[i] == i {
+			continue // no customer hop here
+		}
+		if needEntry {
+			if i == 0 {
+				continue // the VP has no entering hop
+			}
+			switch r.Rel(asns[i-1], asns[i]) {
+			case topology.P2C, topology.P2P:
+				// provider or peer of asns[i]: credited
+			default:
+				continue
+			}
+		}
+		cone := out[asns[i]]
+		if cone == nil {
+			cone = map[uint32]bool{asns[i]: true}
+			out[asns[i]] = cone
+		}
+		for j := i + 1; j <= descendTo[i]; j++ {
+			cone[asns[j]] = true
+		}
+	}
+}
+
+// Rank orders ASes by decreasing cone size, tie-broken by decreasing
+// transit degree (may be nil) and then ascending ASN — the AS Rank
+// ordering.
+func Rank(sizes map[uint32]int, transitDegree map[uint32]int) []uint32 {
+	out := make([]uint32, 0, len(sizes))
+	for asn := range sizes {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if sizes[a] != sizes[b] {
+			return sizes[a] > sizes[b]
+		}
+		if transitDegree[a] != transitDegree[b] {
+			return transitDegree[a] > transitDegree[b]
+		}
+		return a < b
+	})
+	return out
+}

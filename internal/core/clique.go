@@ -1,0 +1,232 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/asrank-go/asrank/internal/paths"
+)
+
+// inferClique implements step 3: a Bron–Kerbosch maximum-clique search
+// over the links among the top-ranked ASes, seeded on the #1 AS, then a
+// greedy extension further down the ranking requiring full adjacency.
+func inferClique(ds *paths.Dataset, rank []uint32, opts Options) []uint32 {
+	if len(rank) == 0 {
+		return nil
+	}
+	seedN := opts.CliqueSeedSize
+	if seedN > len(rank) {
+		seedN = len(rank)
+	}
+	seeds := rank[:seedN]
+	seedSet := make(map[uint32]bool, seedN)
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+
+	// Adjacency among the seeds.
+	adj := make(map[uint32]map[uint32]bool, seedN)
+	for _, s := range seeds {
+		adj[s] = make(map[uint32]bool)
+	}
+	links := ds.Links()
+	for l := range links {
+		if seedSet[l.A] && seedSet[l.B] {
+			adj[l.A][l.B] = true
+			adj[l.B][l.A] = true
+		}
+	}
+
+	// Bron–Kerbosch with pivoting over the seed set, keeping the largest
+	// clique containing the top-ranked AS (ties: larger total transit
+	// degree, then lexicographically smaller member list).
+	top := rank[0]
+	var best []uint32
+	var maximal func(r, p, x []uint32)
+	maximal = func(r, p, x []uint32) {
+		if len(p) == 0 && len(x) == 0 {
+			if containsASN(r, top) && betterClique(r, best) {
+				best = append([]uint32(nil), r...)
+				sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+			}
+			return
+		}
+		// Pivot: the vertex in p∪x with most neighbors in p.
+		var pivot uint32
+		bestCnt := -1
+		for _, cand := range append(append([]uint32(nil), p...), x...) {
+			cnt := 0
+			for _, v := range p {
+				if adj[cand][v] {
+					cnt++
+				}
+			}
+			if cnt > bestCnt {
+				bestCnt, pivot = cnt, cand
+			}
+		}
+		var candidates []uint32
+		for _, v := range p {
+			if !adj[pivot][v] {
+				candidates = append(candidates, v)
+			}
+		}
+		for _, v := range candidates {
+			var np, nx []uint32
+			for _, w := range p {
+				if adj[v][w] {
+					np = append(np, w)
+				}
+			}
+			for _, w := range x {
+				if adj[v][w] {
+					nx = append(nx, w)
+				}
+			}
+			rv := append(append([]uint32(nil), r...), v)
+			maximal(rv, np, nx)
+			p = removeASN(p, v)
+			x = append(x, v)
+		}
+	}
+	maximal(nil, append([]uint32(nil), seeds...), nil)
+	if best == nil {
+		best = []uint32{top}
+	}
+
+	// Greedy extension in rank order. A candidate joins when it is
+	// adjacent to every current member — or, once the clique is large
+	// enough, to all but one (peering links at the top are not always
+	// visible from the VPs), provided the candidate is never observed
+	// *behind* an intra-clique crossing: a customer of a clique member
+	// shows up as (member, member, candidate) in paths, a true clique
+	// member never does.
+	limit := opts.CliqueExtendLimit
+	if limit > len(rank) {
+		limit = len(rank)
+	}
+	pred2 := predecessorPairs(ds)
+	member := make(map[uint32]bool, len(best))
+	for _, m := range best {
+		member[m] = true
+	}
+	for _, cand := range rank[:limit] {
+		if member[cand] {
+			continue
+		}
+		adjacent := 0
+		for _, m := range best {
+			if _, ok := links[paths.NewLink(cand, m)]; ok {
+				adjacent++
+			}
+		}
+		tolerated := len(best) >= 5 && adjacent >= len(best)-1 &&
+			!crossedByMembers(pred2[cand], member)
+		if adjacent == len(best) || tolerated {
+			best = append(best, cand)
+			member[cand] = true
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best
+}
+
+// predecessorPairs maps each AS to the distinct ordered hop pairs that
+// directly precede it in paths.
+func predecessorPairs(ds *paths.Dataset) map[uint32][][2]uint32 {
+	seen := make(map[[3]uint32]bool)
+	out := make(map[uint32][][2]uint32)
+	for _, p := range ds.Paths {
+		for i := 0; i+2 < len(p.ASNs); i++ {
+			key := [3]uint32{p.ASNs[i], p.ASNs[i+1], p.ASNs[i+2]}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out[key[2]] = append(out[key[2]], [2]uint32{key[0], key[1]})
+		}
+	}
+	return out
+}
+
+// crossedByMembers reports whether any predecessor pair lies entirely in
+// the member set — evidence the AS sits below the clique.
+func crossedByMembers(pairs [][2]uint32, member map[uint32]bool) bool {
+	for _, pr := range pairs {
+		if member[pr[0]] && member[pr[1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// betterClique reports whether a beats b: larger wins; nil b loses.
+func betterClique(a, b []uint32) bool {
+	if b == nil {
+		return true
+	}
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	// Deterministic tie-break: lexicographically smaller sorted members.
+	as := append([]uint32(nil), a...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	for i := range as {
+		if as[i] != b[i] {
+			return as[i] < b[i]
+		}
+	}
+	return false
+}
+
+func containsASN(s []uint32, v uint32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeASN(s []uint32, v uint32) []uint32 {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// discardPoisoned implements step 4: drop paths where a non-clique AS
+// appears between two clique members — evidence of poisoning or a route
+// leak that would corrupt top-down inference.
+func discardPoisoned(ds *paths.Dataset, clique map[uint32]bool) (*paths.Dataset, int) {
+	out := &paths.Dataset{Paths: make([]paths.Path, 0, len(ds.Paths))}
+	dropped := 0
+	for _, p := range ds.Paths {
+		if poisoned(p.ASNs, clique) {
+			dropped++
+			continue
+		}
+		out.Add(p)
+	}
+	return out, dropped
+}
+
+func poisoned(asns []uint32, clique map[uint32]bool) bool {
+	// Find a pattern clique, non-clique+, clique.
+	lastClique := -1
+	sawNonCliqueSince := false
+	for i, a := range asns {
+		if clique[a] {
+			if lastClique >= 0 && sawNonCliqueSince {
+				return true
+			}
+			lastClique = i
+			sawNonCliqueSince = false
+		} else if lastClique >= 0 {
+			sawNonCliqueSince = true
+		}
+	}
+	return false
+}

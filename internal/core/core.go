@@ -1,0 +1,312 @@
+// Package core implements the ASRank relationship-inference algorithm:
+// given the AS paths observable from route collectors, it infers which
+// AS links are customer-to-provider (c2p) and which are settlement-free
+// peering (p2p).
+//
+// The pipeline follows the paper's structure:
+//
+//  1. sanitize paths (delegated to internal/paths)
+//  2. rank ASes by transit degree
+//  3. infer the top clique with Bron–Kerbosch
+//  4. discard poisoned paths (clique–nonclique–clique sandwiches)
+//  5. infer c2p top-down in rank order from path triplets
+//  6. infer c2p from partial-feed vantage points
+//  7. infer c2p for stubs adjacent to clique members
+//  8. infer c2p for unlabeled links with a large transit-degree fold
+//  9. label every remaining link p2p
+//
+// Each inferred link carries provenance (the step that labeled it) so
+// accuracy can be reported per step.
+package core
+
+import (
+	"sort"
+
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// Step identifies which pipeline stage labeled a link.
+type Step int8
+
+// Pipeline steps, in execution order.
+const (
+	StepNone       Step = iota
+	StepClique          // step 3: both endpoints in the inferred clique
+	StepTopDown         // step 5: top-down triplet inference
+	StepVP              // step 6: partial-feed vantage point first hops
+	StepStubClique      // step 7: stub adjacent to a clique member
+	StepFold            // step 8: transit-degree fold
+	StepPeer            // step 9: default to p2p
+)
+
+// String names the step.
+func (s Step) String() string {
+	switch s {
+	case StepNone:
+		return "none"
+	case StepClique:
+		return "clique"
+	case StepTopDown:
+		return "top-down"
+	case StepVP:
+		return "vp"
+	case StepStubClique:
+		return "stub-clique"
+	case StepFold:
+		return "fold"
+	case StepPeer:
+		return "peer-default"
+	}
+	return "step?"
+}
+
+// Options tunes the inference pipeline. The zero value selects the
+// defaults used in the experiments.
+type Options struct {
+	// CliqueSeedSize is how many top-ranked ASes feed the Bron–Kerbosch
+	// maximum-clique search (default 10).
+	CliqueSeedSize int
+	// CliqueExtendLimit is how far down the ranking the greedy clique
+	// extension looks (default 50).
+	CliqueExtendLimit int
+	// FoldRatio is the step-8 threshold: label a link c2p when one
+	// side's transit degree is at least FoldRatio times the other's
+	// (default 10).
+	FoldRatio float64
+	// PartialFeedOriginFrac is the step-6 threshold: a VP whose paths
+	// reach fewer than this fraction of observed origins is treated as
+	// exporting only customer routes (default 0.25).
+	PartialFeedOriginFrac float64
+	// TopDownPasses bounds the step-5 fixpoint iteration (default 3).
+	TopDownPasses int
+	// Clique, when non-nil, skips clique inference and uses the given
+	// members (for ablations).
+	Clique []uint32
+	// DisableProviderless turns off the provider-less peer-of-clique
+	// detection (ablation).
+	DisableProviderless bool
+	// DisableFold turns off the step-8 transit-degree fold (ablation).
+	DisableFold bool
+	// Sanitize, when set, runs path sanitization first (step 1); most
+	// callers pass already-sanitized data.
+	Sanitize bool
+	// IXPASes is forwarded to sanitization when Sanitize is set.
+	IXPASes map[uint32]bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CliqueSeedSize <= 0 {
+		o.CliqueSeedSize = 10
+	}
+	if o.CliqueExtendLimit <= 0 {
+		o.CliqueExtendLimit = 50
+	}
+	if o.FoldRatio <= 0 {
+		o.FoldRatio = 10
+	}
+	if o.PartialFeedOriginFrac <= 0 {
+		o.PartialFeedOriginFrac = 0.25
+	}
+	if o.TopDownPasses <= 0 {
+		o.TopDownPasses = 3
+	}
+	return o
+}
+
+// Result is the output of relationship inference.
+type Result struct {
+	// Rels maps each observed link to its inferred relationship in the
+	// canonical orientation (relative to Link.A): P2C means Link.A is
+	// the provider of Link.B.
+	Rels map[paths.Link]topology.Relationship
+	// Steps records which pipeline stage labeled each link.
+	Steps map[paths.Link]Step
+	// Clique is the inferred top clique, ascending ASN.
+	Clique []uint32
+	// Rank lists every observed AS in rank order (highest first).
+	Rank []uint32
+	// TransitDegree and Degree are the ranking metrics.
+	TransitDegree map[uint32]int
+	Degree        map[uint32]int
+	// PoisonedPaths is the number of paths step 4 discarded.
+	PoisonedPaths int
+	// Providerless lists ASes inferred to peer with the clique instead
+	// of buying transit (see inferencer.detectProviderless).
+	Providerless []uint32
+	// SanitizeStats reports step 1 when Options.Sanitize was set.
+	SanitizeStats paths.SanitizeStats
+	// Dataset is the post-step-4 corpus the inference actually used.
+	Dataset *paths.Dataset
+}
+
+// Rel returns the inferred relationship of x relative to y: P2C means x
+// is y's provider.
+func (r *Result) Rel(x, y uint32) topology.Relationship {
+	rel, ok := r.Rels[paths.NewLink(x, y)]
+	if !ok {
+		return topology.None
+	}
+	if paths.NewLink(x, y).A == x {
+		return rel
+	}
+	return rel.Invert()
+}
+
+// Providers returns the inferred providers of asn, ascending.
+func (r *Result) Providers(asn uint32) []uint32 {
+	return r.neighborsWhere(asn, topology.C2P)
+}
+
+// Customers returns the inferred customers of asn, ascending.
+func (r *Result) Customers(asn uint32) []uint32 {
+	return r.neighborsWhere(asn, topology.P2C)
+}
+
+// Peers returns the inferred peers of asn, ascending.
+func (r *Result) Peers(asn uint32) []uint32 {
+	return r.neighborsWhere(asn, topology.P2P)
+}
+
+func (r *Result) neighborsWhere(asn uint32, want topology.Relationship) []uint32 {
+	var out []uint32
+	for l, rel := range r.Rels {
+		var other uint32
+		var oriented topology.Relationship
+		switch asn {
+		case l.A:
+			other, oriented = l.B, rel
+		case l.B:
+			other, oriented = l.A, rel.Invert()
+		default:
+			continue
+		}
+		if oriented == want {
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StepCounts tallies links per pipeline step, split by relationship.
+type StepCounts struct {
+	Step Step
+	C2P  int
+	P2P  int
+}
+
+// CountsByStep returns per-step link tallies in step order, feeding the
+// pipeline-table experiment (R2).
+func (r *Result) CountsByStep() []StepCounts {
+	byStep := map[Step]*StepCounts{}
+	for l, s := range r.Steps {
+		c, ok := byStep[s]
+		if !ok {
+			c = &StepCounts{Step: s}
+			byStep[s] = c
+		}
+		if r.Rels[l] == topology.P2P {
+			c.P2P++
+		} else {
+			c.C2P++
+		}
+	}
+	var out []StepCounts
+	for _, s := range []Step{StepClique, StepTopDown, StepVP, StepStubClique, StepFold, StepPeer} {
+		if c, ok := byStep[s]; ok {
+			out = append(out, *c)
+		}
+	}
+	return out
+}
+
+// Infer runs the full pipeline over a path corpus.
+func Infer(ds *paths.Dataset, opts Options) *Result {
+	opts = opts.withDefaults()
+	var st paths.SanitizeStats
+	if opts.Sanitize {
+		ds, st = paths.Sanitize(ds, paths.SanitizeOptions{IXPASes: opts.IXPASes})
+	}
+	return inferSanitized(ds, opts, st)
+}
+
+func inferSanitized(ds *paths.Dataset, opts Options, sanStats paths.SanitizeStats) *Result {
+	res := &Result{
+		Rels:          make(map[paths.Link]topology.Relationship),
+		Steps:         make(map[paths.Link]Step),
+		SanitizeStats: sanStats,
+	}
+
+	// Step 2: ranking.
+	res.TransitDegree = ds.TransitDegrees()
+	res.Degree = ds.Degrees()
+	res.Rank = rankASes(ds, res.TransitDegree, res.Degree)
+
+	// Step 3: clique.
+	if opts.Clique != nil {
+		res.Clique = append([]uint32(nil), opts.Clique...)
+		sort.Slice(res.Clique, func(i, j int) bool { return res.Clique[i] < res.Clique[j] })
+	} else {
+		res.Clique = inferClique(ds, res.Rank, opts)
+	}
+	cliqueSet := make(map[uint32]bool, len(res.Clique))
+	for _, c := range res.Clique {
+		cliqueSet[c] = true
+	}
+
+	// Step 4: discard poisoned paths.
+	ds, res.PoisonedPaths = discardPoisoned(ds, cliqueSet)
+	res.Dataset = ds
+
+	// Label intra-clique links p2p.
+	links := ds.Links()
+	for l := range links {
+		if cliqueSet[l.A] && cliqueSet[l.B] {
+			res.Rels[l] = topology.P2P
+			res.Steps[l] = StepClique
+		}
+	}
+
+	inf := &inferencer{
+		ds:           ds,
+		opts:         opts,
+		res:          res,
+		clique:       cliqueSet,
+		links:        links,
+		customers:    make(map[uint32][]uint32),
+		providerless: make(map[uint32]bool),
+	}
+	if !opts.DisableProviderless {
+		inf.detectProviderless()
+	}
+	inf.topDown()    // step 5
+	inf.vpPass()     // step 6
+	inf.stubClique() // step 7
+	if !opts.DisableFold {
+		inf.fold() // step 8
+	}
+	inf.peerRest() // step 9
+	return res
+}
+
+// rankASes orders ASes by decreasing transit degree, then decreasing
+// node degree, then ascending ASN.
+func rankASes(ds *paths.Dataset, transit, degree map[uint32]int) []uint32 {
+	set := ds.ASes()
+	out := make([]uint32, 0, len(set))
+	for asn := range set {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if transit[a] != transit[b] {
+			return transit[a] > transit[b]
+		}
+		if degree[a] != degree[b] {
+			return degree[a] > degree[b]
+		}
+		return a < b
+	})
+	return out
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// inferencer carries the mutable state of steps 5–9.
+type inferencer struct {
+	ds     *paths.Dataset
+	opts   Options
+	res    *Result
+	clique map[uint32]bool
+	links  map[paths.Link]int
+
+	// customers is the p2c digraph built so far (provider → customers),
+	// used for cycle prevention.
+	customers map[uint32][]uint32
+
+	// providerless flags ASes inferred to peer with the clique rather
+	// than buy transit (large content networks): no c2p edge may point
+	// at them.
+	providerless map[uint32]bool
+}
+
+// detectProviderless flags ASes that peer with the clique instead of
+// buying transit from it (large provider-less content networks), the
+// failure mode the paper singles out: the top-down pass would otherwise
+// label those peerings c2p.
+//
+// The distinguishing observable: if X were a customer of clique member
+// c2, routes toward X from the rest of the clique would cross the
+// clique peering mesh and appear as (c1, c2, X) in paths. A peer-of-
+// clique X never shows that pattern, because c2 does not export X's
+// peer routes to other clique members. So an AS adjacent to two or more
+// clique members, never seen behind an intra-clique crossing, and never
+// observed providing transit is inferred to be peering with the clique.
+func (in *inferencer) detectProviderless() {
+	if len(in.res.Clique) < 2 {
+		return
+	}
+	adjClique := make(map[uint32]int)
+	for l := range in.links {
+		a, b := l.A, l.B
+		if in.clique[a] && !in.clique[b] {
+			adjClique[b]++
+		}
+		if in.clique[b] && !in.clique[a] {
+			adjClique[a]++
+		}
+	}
+	crossed := make(map[uint32]bool) // X observed as (clique, clique, X)
+	for _, p := range in.ds.Paths {
+		for i := 0; i+2 < len(p.ASNs); i++ {
+			if in.clique[p.ASNs[i]] && in.clique[p.ASNs[i+1]] && !in.clique[p.ASNs[i+2]] {
+				crossed[p.ASNs[i+2]] = true
+			}
+		}
+	}
+	// A provider-less network peers with most of the clique; a stub
+	// multihomed to two or three clique members does not. Require
+	// adjacency to at least a third of the clique (minimum 3).
+	need := len(in.res.Clique) / 3
+	if need < 3 {
+		need = 3
+	}
+	for asn, n := range adjClique {
+		if n >= need && !crossed[asn] && in.res.TransitDegree[asn] == 0 {
+			in.providerless[asn] = true
+		}
+	}
+	in.res.Providerless = in.res.Providerless[:0]
+	for asn := range in.providerless {
+		in.res.Providerless = append(in.res.Providerless, asn)
+	}
+	sort.Slice(in.res.Providerless, func(i, j int) bool {
+		return in.res.Providerless[i] < in.res.Providerless[j]
+	})
+}
+
+// setC2P labels provider→customer, updating provenance and the cycle
+// digraph. It assumes the caller checked the link is unlabeled and
+// acyclic.
+func (in *inferencer) setC2P(provider, customer uint32, step Step) {
+	l := paths.NewLink(provider, customer)
+	if l.A == provider {
+		in.res.Rels[l] = topology.P2C
+	} else {
+		in.res.Rels[l] = topology.C2P
+	}
+	in.res.Steps[l] = step
+	in.customers[provider] = append(in.customers[provider], customer)
+}
+
+// labeled reports whether the link between x and y has a relationship.
+func (in *inferencer) labeled(x, y uint32) bool {
+	_, ok := in.res.Rels[paths.NewLink(x, y)]
+	return ok
+}
+
+// createsCycle reports whether adding provider→customer would create a
+// cycle in the p2c digraph, i.e. whether provider is already reachable
+// from customer via customer edges.
+func (in *inferencer) createsCycle(provider, customer uint32) bool {
+	if provider == customer {
+		return true
+	}
+	seen := map[uint32]bool{customer: true}
+	stack := []uint32{customer}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range in.customers[x] {
+			if c == provider {
+				return true
+			}
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return false
+}
+
+// triplet is one (previous, next) context for a middle AS in some path.
+type triplet struct {
+	prev uint32 // 0 when the middle AS is the first hop (the VP)
+	next uint32
+}
+
+// topDown implements step 5: visiting ASes in rank order, a neighbor
+// that follows AS z in a path is inferred to be z's customer when the
+// route demonstrably entered z "from above" — z is a clique member, or
+// the previous hop is already known to be z's provider or peer — because
+// the valley-free property then forces the following hop to be a
+// customer. Cycle-creating and clique-demoting inferences are skipped.
+// The pass repeats until a fixpoint (bounded by TopDownPasses), since a
+// later AS's labels can unlock an earlier AS's triplets.
+func (in *inferencer) topDown() {
+	// Collect distinct triplets per middle AS.
+	trips := make(map[uint32]map[triplet]bool)
+	for _, p := range in.ds.Paths {
+		for i := 0; i+1 < len(p.ASNs); i++ {
+			z := p.ASNs[i]
+			var prev uint32
+			if i > 0 {
+				prev = p.ASNs[i-1]
+			}
+			m, ok := trips[z]
+			if !ok {
+				m = make(map[triplet]bool)
+				trips[z] = m
+			}
+			m[triplet{prev: prev, next: p.ASNs[i+1]}] = true
+		}
+	}
+	// Deterministic triplet order per AS.
+	sortedTrips := make(map[uint32][]triplet, len(trips))
+	for z, m := range trips {
+		ts := make([]triplet, 0, len(m))
+		for t := range m {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool {
+			if ts[i].next != ts[j].next {
+				return ts[i].next < ts[j].next
+			}
+			return ts[i].prev < ts[j].prev
+		})
+		sortedTrips[z] = ts
+	}
+
+	for pass := 0; pass < in.opts.TopDownPasses; pass++ {
+		changed := false
+		for _, z := range in.res.Rank {
+			for _, t := range sortedTrips[z] {
+				if t.next == z || in.clique[t.next] || in.providerless[t.next] {
+					continue
+				}
+				if in.labeled(z, t.next) {
+					continue
+				}
+				if !in.enteredFromAbove(z, t.prev) {
+					continue
+				}
+				if in.createsCycle(z, t.next) {
+					continue
+				}
+				in.setC2P(z, t.next, StepTopDown)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// enteredFromAbove reports whether a route observed at z arrived from a
+// provider or peer of z (or z is a clique member, the top of the
+// hierarchy), which forces the next hop to be a customer.
+func (in *inferencer) enteredFromAbove(z, prev uint32) bool {
+	if in.clique[z] {
+		return true
+	}
+	if prev == 0 {
+		return false // z is the VP; no entering hop to reason from
+	}
+	switch in.res.Rel(prev, z) {
+	case topology.P2C: // prev is z's provider
+		return true
+	case topology.P2P: // prev is z's peer
+		return true
+	}
+	return false
+}
+
+// vpPass implements step 6: a vantage point whose feed reaches only a
+// small fraction of observed origins is exporting only customer routes
+// (it treats the collector as a peer), so every unlabeled first hop of
+// its paths is one of its customers.
+func (in *inferencer) vpPass() {
+	origins := make(map[uint32]bool)
+	for _, p := range in.ds.Paths {
+		origins[p.Origin()] = true
+	}
+	vpOrigins := make(map[uint32]map[uint32]bool)
+	vpFirstHops := make(map[uint32]map[uint32]bool)
+	for _, p := range in.ds.Paths {
+		if len(p.ASNs) < 2 {
+			continue
+		}
+		vp := p.ASNs[0]
+		if vpOrigins[vp] == nil {
+			vpOrigins[vp] = make(map[uint32]bool)
+			vpFirstHops[vp] = make(map[uint32]bool)
+		}
+		vpOrigins[vp][p.Origin()] = true
+		vpFirstHops[vp][p.ASNs[1]] = true
+	}
+	threshold := in.opts.PartialFeedOriginFrac * float64(len(origins))
+	vps := make([]uint32, 0, len(vpOrigins))
+	for vp := range vpOrigins {
+		vps = append(vps, vp)
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	for _, vp := range vps {
+		if float64(len(vpOrigins[vp])) >= threshold {
+			continue // full-ish feed: first hops may be providers/peers
+		}
+		hops := make([]uint32, 0, len(vpFirstHops[vp]))
+		for h := range vpFirstHops[vp] {
+			hops = append(hops, h)
+		}
+		sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+		for _, h := range hops {
+			if in.labeled(vp, h) || in.clique[h] || in.providerless[h] {
+				continue
+			}
+			if in.createsCycle(vp, h) {
+				continue
+			}
+			in.setC2P(vp, h, StepVP)
+		}
+	}
+}
+
+// stubClique implements step 7: a stub AS (transit degree 0) adjacent to
+// a clique member is that member's customer — a stub cannot be peering
+// with the top of the hierarchy.
+func (in *inferencer) stubClique() {
+	for _, l := range paths.SortedLinks(in.links) {
+		if _, done := in.res.Rels[l]; done {
+			continue
+		}
+		a, b := l.A, l.B
+		switch {
+		case in.providerless[a] || in.providerless[b]:
+			// peers of the clique, not stub customers
+		case in.clique[a] && !in.clique[b] && in.res.TransitDegree[b] == 0:
+			if !in.createsCycle(a, b) {
+				in.setC2P(a, b, StepStubClique)
+			}
+		case in.clique[b] && !in.clique[a] && in.res.TransitDegree[a] == 0:
+			if !in.createsCycle(b, a) {
+				in.setC2P(b, a, StepStubClique)
+			}
+		}
+	}
+}
+
+// fold implements step 8: an unlabeled link whose endpoints' transit
+// degrees differ by at least FoldRatio is labeled c2p with the larger
+// side as provider — networks of very different size rarely peer. The
+// pass is meant for multihomed stubs whose secondary-provider link left
+// no top-down evidence; an AS with *many* unlabeled links at this point
+// is a peering-heavy network (content at IXPs), not a stub, and is left
+// for the p2p default.
+func (in *inferencer) fold() {
+	unlabeled := make(map[uint32]int)
+	for _, l := range paths.SortedLinks(in.links) {
+		if _, done := in.res.Rels[l]; !done {
+			unlabeled[l.A]++
+			unlabeled[l.B]++
+		}
+	}
+	const peeringRich = 6 // more unlabeled links than any plausible stub
+	for _, l := range paths.SortedLinks(in.links) {
+		if _, done := in.res.Rels[l]; done {
+			continue
+		}
+		ta := float64(in.res.TransitDegree[l.A])
+		tb := float64(in.res.TransitDegree[l.B])
+		var provider, customer uint32
+		switch {
+		case ta >= in.opts.FoldRatio*(tb+1) && ta > 0:
+			provider, customer = l.A, l.B
+		case tb >= in.opts.FoldRatio*(ta+1) && tb > 0:
+			provider, customer = l.B, l.A
+		default:
+			continue
+		}
+		if in.clique[customer] || in.providerless[customer] {
+			continue
+		}
+		if unlabeled[customer] >= peeringRich {
+			continue
+		}
+		if in.createsCycle(provider, customer) {
+			continue
+		}
+		in.setC2P(provider, customer, StepFold)
+	}
+}
+
+// peerRest implements step 9: everything still unlabeled is peering.
+func (in *inferencer) peerRest() {
+	for l := range in.links {
+		if _, done := in.res.Rels[l]; done {
+			continue
+		}
+		in.res.Rels[l] = topology.P2P
+		in.res.Steps[l] = StepPeer
+	}
+}

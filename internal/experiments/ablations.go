@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/stats"
+	"github.com/asrank-go/asrank/internal/validation"
+)
+
+// R13Ablations quantifies the design choices DESIGN.md calls out by
+// re-running inference with individual provisions disabled or detuned
+// and scoring each variant against ground truth.
+func R13Ablations(l *Lab) *Report {
+	clean, _ := l.Clean()
+	truth := l.Topo().Links()
+
+	t := stats.NewTable("Pipeline ablations (vs ground truth)",
+		"variant", "c2p PPV", "p2p PPV", "overall", "clique size")
+	variant := func(name string, opts core.Options) {
+		res := core.Infer(clean, opts)
+		m := validation.Evaluate(res.Rels, truth)
+		t.AddRow(name, m.C2PPPV(), m.P2PPPV(), m.Overall(), len(res.Clique))
+	}
+	variant("full pipeline", core.Options{})
+	variant("no provider-less detection", core.Options{DisableProviderless: true})
+	variant("no degree fold (step 8)", core.Options{DisableFold: true})
+	variant("single top-down pass", core.Options{TopDownPasses: 1})
+	variant("clique seed 5 (default 10)", core.Options{CliqueSeedSize: 5})
+	variant("true clique preset", core.Options{Clique: l.Topo().Tier1s()})
+
+	return &Report{
+		ID:    "R13",
+		Title: "ablations of the pipeline's design choices",
+		Sections: []fmt.Stringer{t,
+			Textf("the 'true clique preset' row bounds how much clique-inference error costs\n")},
+	}
+}

@@ -1,0 +1,164 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"github.com/asrank-go/asrank/internal/bgp"
+)
+
+// BGP4MPMessage is a BGP4MP MESSAGE or MESSAGE_AS4 record: one BGP
+// message captured on a collector session.
+type BGP4MPMessage struct {
+	PeerAS    uint32
+	LocalAS   uint32
+	Interface uint16
+	PeerAddr  netip.Addr
+	LocalAddr netip.Addr
+	AS4       bool   // record subtype was MESSAGE_AS4
+	Data      []byte // complete BGP message including header
+}
+
+// Update parses the carried BGP message as an UPDATE.
+func (m *BGP4MPMessage) Update() (*bgp.Update, error) {
+	return bgp.ParseUpdate(m.Data, m.AS4)
+}
+
+func appendBGP4MPPeering(dst []byte, peerAS, localAS uint32, ifindex uint16, peer, local netip.Addr, as4 bool) ([]byte, error) {
+	if as4 {
+		dst = binary.BigEndian.AppendUint32(dst, peerAS)
+		dst = binary.BigEndian.AppendUint32(dst, localAS)
+	} else {
+		if peerAS > 0xffff || localAS > 0xffff {
+			return nil, fmt.Errorf("mrt: ASN does not fit 2-byte BGP4MP subtype")
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(peerAS))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(localAS))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, ifindex)
+	if peer.Is4() != local.Is4() {
+		return nil, fmt.Errorf("mrt: peer/local address family mismatch")
+	}
+	afi := uint16(bgp.AFIIPv4)
+	if peer.Is6() {
+		afi = bgp.AFIIPv6
+	}
+	dst = binary.BigEndian.AppendUint16(dst, afi)
+	dst = append(dst, peer.AsSlice()...)
+	dst = append(dst, local.AsSlice()...)
+	return dst, nil
+}
+
+func parseBGP4MPPeering(b []byte, as4 bool) (peerAS, localAS uint32, ifindex uint16, peer, local netip.Addr, rest []byte, err error) {
+	asLen := 2
+	if as4 {
+		asLen = 4
+	}
+	if len(b) < asLen*2+4 {
+		err = errShort
+		return
+	}
+	if as4 {
+		peerAS = binary.BigEndian.Uint32(b)
+		localAS = binary.BigEndian.Uint32(b[4:])
+	} else {
+		peerAS = uint32(binary.BigEndian.Uint16(b))
+		localAS = uint32(binary.BigEndian.Uint16(b[2:]))
+	}
+	b = b[asLen*2:]
+	ifindex = binary.BigEndian.Uint16(b)
+	afi := binary.BigEndian.Uint16(b[2:])
+	b = b[4:]
+	addrLen := 4
+	if afi == bgp.AFIIPv6 {
+		addrLen = 16
+	} else if afi != bgp.AFIIPv4 {
+		err = fmt.Errorf("mrt: BGP4MP AFI %d unsupported", afi)
+		return
+	}
+	if len(b) < addrLen*2 {
+		err = errShort
+		return
+	}
+	peer, _ = netip.AddrFromSlice(b[:addrLen])
+	local, _ = netip.AddrFromSlice(b[addrLen : addrLen*2])
+	rest = b[addrLen*2:]
+	return
+}
+
+func (m *BGP4MPMessage) appendTo(dst []byte) ([]byte, error) {
+	dst, err := appendBGP4MPPeering(dst, m.PeerAS, m.LocalAS, m.Interface, m.PeerAddr, m.LocalAddr, m.AS4)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, m.Data...), nil
+}
+
+func parseBGP4MPMessage(b []byte, as4 bool) (*BGP4MPMessage, error) {
+	peerAS, localAS, ifindex, peer, local, rest, err := parseBGP4MPPeering(b, as4)
+	if err != nil {
+		return nil, err
+	}
+	return &BGP4MPMessage{
+		PeerAS:    peerAS,
+		LocalAS:   localAS,
+		Interface: ifindex,
+		PeerAddr:  peer,
+		LocalAddr: local,
+		AS4:       as4,
+		Data:      append([]byte(nil), rest...),
+	}, nil
+}
+
+// BGP FSM states carried in STATE_CHANGE records (RFC 6396 §4.4.1).
+const (
+	StateIdle        = 1
+	StateConnect     = 2
+	StateActive      = 3
+	StateOpenSent    = 4
+	StateOpenConfirm = 5
+	StateEstablished = 6
+)
+
+// BGP4MPStateChange is a BGP4MP STATE_CHANGE or STATE_CHANGE_AS4 record.
+type BGP4MPStateChange struct {
+	PeerAS    uint32
+	LocalAS   uint32
+	Interface uint16
+	PeerAddr  netip.Addr
+	LocalAddr netip.Addr
+	AS4       bool
+	OldState  uint16
+	NewState  uint16
+}
+
+func (m *BGP4MPStateChange) appendTo(dst []byte) ([]byte, error) {
+	dst, err := appendBGP4MPPeering(dst, m.PeerAS, m.LocalAS, m.Interface, m.PeerAddr, m.LocalAddr, m.AS4)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint16(dst, m.OldState)
+	dst = binary.BigEndian.AppendUint16(dst, m.NewState)
+	return dst, nil
+}
+
+func parseBGP4MPStateChange(b []byte, as4 bool) (*BGP4MPStateChange, error) {
+	peerAS, localAS, ifindex, peer, local, rest, err := parseBGP4MPPeering(b, as4)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, errShort
+	}
+	return &BGP4MPStateChange{
+		PeerAS:    peerAS,
+		LocalAS:   localAS,
+		Interface: ifindex,
+		PeerAddr:  peer,
+		LocalAddr: local,
+		AS4:       as4,
+		OldState:  binary.BigEndian.Uint16(rest),
+		NewState:  binary.BigEndian.Uint16(rest[2:]),
+	}, nil
+}

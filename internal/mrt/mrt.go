@@ -1,0 +1,222 @@
+// Package mrt reads and writes MRT routing-archive files (RFC 6396), the
+// format Route Views and RIPE RIS publish BGP RIB snapshots and update
+// traces in. Supported record types: TABLE_DUMP (v1, IPv4),
+// TABLE_DUMP_V2 (PEER_INDEX_TABLE, RIB_IPV4_UNICAST, RIB_IPV6_UNICAST),
+// and BGP4MP/BGP4MP_ET (MESSAGE, MESSAGE_AS4, STATE_CHANGE,
+// STATE_CHANGE_AS4). Unknown record types round-trip as raw bytes.
+//
+// The Reader is streaming: it reads one record at a time and reuses its
+// internal buffer, in the spirit of gopacket's DecodingLayerParser. The
+// high-level RIBWriter/RIBReader pair (rib.go) handles the
+// PEER_INDEX_TABLE bookkeeping that TABLE_DUMP_V2 requires.
+package mrt
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MRT record types (RFC 6396 §4, RFC 8050).
+const (
+	TypeOSPFv2      = 11
+	TypeTableDump   = 12
+	TypeTableDumpV2 = 13
+	TypeBGP4MP      = 16
+	TypeBGP4MPET    = 17
+)
+
+// TABLE_DUMP_V2 subtypes (RFC 6396 §4.3).
+const (
+	SubtypePeerIndexTable   = 1
+	SubtypeRIBIPv4Unicast   = 2
+	SubtypeRIBIPv4Multicast = 3
+	SubtypeRIBIPv6Unicast   = 4
+	SubtypeRIBIPv6Multicast = 5
+	SubtypeRIBGeneric       = 6
+)
+
+// BGP4MP subtypes (RFC 6396 §4.4).
+const (
+	SubtypeStateChange    = 0
+	SubtypeMessage        = 1
+	SubtypeMessageAS4     = 4
+	SubtypeStateChangeAS4 = 5
+)
+
+// TABLE_DUMP (v1) subtypes are the AFI of the carried prefix.
+const (
+	SubtypeAFIIPv4 = 1
+	SubtypeAFIIPv6 = 2
+)
+
+// headerLen is the fixed MRT common header size.
+const headerLen = 12
+
+// maxRecordLen bounds a single MRT record; real RIB records are far
+// smaller, and the cap keeps a corrupt length field from exhausting
+// memory.
+const maxRecordLen = 1 << 24
+
+// Record is one MRT record. Body holds a decoded representation for
+// known (type, subtype) pairs — *PeerIndexTable, *RIB, *TableDump,
+// *BGP4MPMessage, *BGP4MPStateChange — and RawBody otherwise.
+type Record struct {
+	Timestamp time.Time
+	Type      uint16
+	Subtype   uint16
+	Body      Body
+}
+
+// Body is implemented by every decoded MRT record body.
+type Body interface {
+	// appendTo appends the wire form of the body.
+	appendTo(dst []byte) ([]byte, error)
+}
+
+// RawBody preserves records this package does not interpret.
+type RawBody []byte
+
+func (b RawBody) appendTo(dst []byte) ([]byte, error) { return append(dst, b...), nil }
+
+var errShort = errors.New("mrt: truncated record")
+
+// Reader reads MRT records from a stream. Gzip-compressed streams
+// (as Route Views and RIPE RIS publish) are decompressed transparently.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+	err error // deferred construction error (bad gzip header)
+}
+
+// NewReader returns a streaming MRT reader, sniffing and unwrapping
+// gzip automatically.
+func NewReader(r io.Reader) *Reader {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return &Reader{err: fmt.Errorf("mrt: bad gzip stream: %w", err)}
+		}
+		br = bufio.NewReaderSize(zr, 1<<16)
+	}
+	return &Reader{r: br}
+}
+
+// Next returns the next record, or io.EOF at end of stream. The returned
+// record's Body does not alias the reader's internal buffer. Records with
+// unknown types are returned with a RawBody and a nil error.
+func (r *Reader) Next() (*Record, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, errShort
+		}
+		return nil, err
+	}
+	ts := binary.BigEndian.Uint32(hdr[0:])
+	typ := binary.BigEndian.Uint16(hdr[4:])
+	sub := binary.BigEndian.Uint16(hdr[6:])
+	length := binary.BigEndian.Uint32(hdr[8:])
+	if length > maxRecordLen {
+		return nil, fmt.Errorf("mrt: record length %d exceeds limit", length)
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	body := r.buf[:length]
+	if _, err := io.ReadFull(r.r, body); err != nil {
+		return nil, errShort
+	}
+
+	rec := &Record{
+		Timestamp: time.Unix(int64(ts), 0).UTC(),
+		Type:      typ,
+		Subtype:   sub,
+	}
+	// The extended-timestamp variants carry microseconds first.
+	if typ == TypeBGP4MPET {
+		if len(body) < 4 {
+			return nil, errShort
+		}
+		us := binary.BigEndian.Uint32(body)
+		rec.Timestamp = rec.Timestamp.Add(time.Duration(us) * time.Microsecond)
+		body = body[4:]
+	}
+
+	decoded, err := decodeBody(typ, sub, body)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: record type %d subtype %d: %w", typ, sub, err)
+	}
+	rec.Body = decoded
+	return rec, nil
+}
+
+func decodeBody(typ, sub uint16, body []byte) (Body, error) {
+	switch typ {
+	case TypeTableDumpV2:
+		switch sub {
+		case SubtypePeerIndexTable:
+			return parsePeerIndexTable(body)
+		case SubtypeRIBIPv4Unicast:
+			return parseRIB(body, false)
+		case SubtypeRIBIPv6Unicast:
+			return parseRIB(body, true)
+		}
+	case TypeTableDump:
+		if sub == SubtypeAFIIPv4 {
+			return parseTableDump(body)
+		}
+	case TypeBGP4MP, TypeBGP4MPET:
+		switch sub {
+		case SubtypeMessage:
+			return parseBGP4MPMessage(body, false)
+		case SubtypeMessageAS4:
+			return parseBGP4MPMessage(body, true)
+		case SubtypeStateChange:
+			return parseBGP4MPStateChange(body, false)
+		case SubtypeStateChangeAS4:
+			return parseBGP4MPStateChange(body, true)
+		}
+	}
+	return RawBody(append([]byte(nil), body...)), nil
+}
+
+// Writer writes MRT records to a stream.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns an MRT writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteRecord writes one record.
+func (w *Writer) WriteRecord(rec *Record) error {
+	body, err := rec.Body.appendTo(nil)
+	if err != nil {
+		return err
+	}
+	if rec.Type == TypeBGP4MPET {
+		us := uint32(rec.Timestamp.Nanosecond() / 1000)
+		body = append(binary.BigEndian.AppendUint32(nil, us), body...)
+	}
+	if len(body) > maxRecordLen {
+		return fmt.Errorf("mrt: record length %d exceeds limit", len(body))
+	}
+	w.buf = w.buf[:0]
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(rec.Timestamp.Unix()))
+	w.buf = binary.BigEndian.AppendUint16(w.buf, rec.Type)
+	w.buf = binary.BigEndian.AppendUint16(w.buf, rec.Subtype)
+	w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(len(body)))
+	w.buf = append(w.buf, body...)
+	_, err = w.w.Write(w.buf)
+	return err
+}

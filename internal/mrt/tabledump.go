@@ -1,0 +1,84 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgp"
+)
+
+// TableDump is a legacy TABLE_DUMP (v1) record: one peer's route for one
+// IPv4 prefix (RFC 6396 §4.2). Route Views archives before ~2003, the
+// early part of the paper's 1998–2013 study window, use this format.
+type TableDump struct {
+	ViewNumber uint16
+	Sequence   uint16
+	Prefix     netip.Prefix
+	Status     uint8
+	Originated time.Time
+	PeerAddr   netip.Addr
+	PeerAS     uint32 // 2-byte on the wire
+	Attrs      *bgp.PathAttributes
+}
+
+func (t *TableDump) appendTo(dst []byte) ([]byte, error) {
+	if !t.Prefix.Addr().Is4() || !t.PeerAddr.Is4() {
+		return nil, fmt.Errorf("mrt: TABLE_DUMP supports only IPv4 here")
+	}
+	if t.PeerAS > 0xffff {
+		return nil, fmt.Errorf("mrt: TABLE_DUMP peer AS %d does not fit 2 bytes", t.PeerAS)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, t.ViewNumber)
+	dst = binary.BigEndian.AppendUint16(dst, t.Sequence)
+	a := t.Prefix.Addr().As4()
+	dst = append(dst, a[:]...)
+	dst = append(dst, byte(t.Prefix.Bits()), t.Status)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(t.Originated.Unix()))
+	p := t.PeerAddr.As4()
+	dst = append(dst, p[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(t.PeerAS))
+	// TABLE_DUMP predates 4-byte ASNs: attributes use 2-byte AS_PATH.
+	attrs, err := t.Attrs.Encode(false)
+	if err != nil {
+		return nil, err
+	}
+	if len(attrs) > 0xffff {
+		return nil, fmt.Errorf("mrt: TABLE_DUMP attributes too long")
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+	return append(dst, attrs...), nil
+}
+
+func parseTableDump(b []byte) (*TableDump, error) {
+	// Fixed part: 2+2+4+1+1+4+4+2+2 = 22 bytes.
+	if len(b) < 22 {
+		return nil, errShort
+	}
+	t := &TableDump{
+		ViewNumber: binary.BigEndian.Uint16(b),
+		Sequence:   binary.BigEndian.Uint16(b[2:]),
+	}
+	addr := netip.AddrFrom4([4]byte(b[4:8]))
+	bits := int(b[8])
+	if bits > 32 {
+		return nil, fmt.Errorf("mrt: TABLE_DUMP mask %d", bits)
+	}
+	t.Prefix = netip.PrefixFrom(addr, bits)
+	t.Status = b[9]
+	t.Originated = time.Unix(int64(binary.BigEndian.Uint32(b[10:])), 0).UTC()
+	t.PeerAddr = netip.AddrFrom4([4]byte(b[14:18]))
+	t.PeerAS = uint32(binary.BigEndian.Uint16(b[18:]))
+	alen := int(binary.BigEndian.Uint16(b[20:]))
+	b = b[22:]
+	if len(b) < alen {
+		return nil, errShort
+	}
+	attrs, err := bgp.ParseAttributes(b[:alen], false)
+	if err != nil {
+		return nil, err
+	}
+	t.Attrs = attrs
+	return t, nil
+}

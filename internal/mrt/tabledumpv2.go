@@ -1,0 +1,192 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgp"
+)
+
+// Peer is one entry of a TABLE_DUMP_V2 PEER_INDEX_TABLE: a BGP session
+// of the collector.
+type Peer struct {
+	BGPID netip.Addr // router ID of the peer
+	Addr  netip.Addr // transport address of the peer
+	ASN   uint32
+}
+
+// PeerIndexTable is the first record of a TABLE_DUMP_V2 RIB dump; RIB
+// entries refer to peers by index into it.
+type PeerIndexTable struct {
+	CollectorID netip.Addr
+	ViewName    string
+	Peers       []Peer
+}
+
+// peer type flag bits (RFC 6396 §4.3.1).
+const (
+	peerFlagV6  = 0x1 // peer address is IPv6
+	peerFlagAS4 = 0x2 // peer AS is 4 bytes
+)
+
+func (t *PeerIndexTable) appendTo(dst []byte) ([]byte, error) {
+	if !t.CollectorID.Is4() {
+		return nil, fmt.Errorf("mrt: collector ID must be IPv4, got %v", t.CollectorID)
+	}
+	id := t.CollectorID.As4()
+	dst = append(dst, id[:]...)
+	if len(t.ViewName) > 0xffff {
+		return nil, fmt.Errorf("mrt: view name too long (%d bytes)", len(t.ViewName))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(t.ViewName)))
+	dst = append(dst, t.ViewName...)
+	if len(t.Peers) > 0xffff {
+		return nil, fmt.Errorf("mrt: too many peers (%d)", len(t.Peers))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(t.Peers)))
+	for _, p := range t.Peers {
+		var flags byte = peerFlagAS4 // always write 4-byte ASNs
+		if p.Addr.Is6() {
+			flags |= peerFlagV6
+		}
+		dst = append(dst, flags)
+		if !p.BGPID.Is4() {
+			return nil, fmt.Errorf("mrt: peer BGP ID must be IPv4, got %v", p.BGPID)
+		}
+		bid := p.BGPID.As4()
+		dst = append(dst, bid[:]...)
+		dst = append(dst, p.Addr.AsSlice()...)
+		dst = binary.BigEndian.AppendUint32(dst, p.ASN)
+	}
+	return dst, nil
+}
+
+func parsePeerIndexTable(b []byte) (*PeerIndexTable, error) {
+	if len(b) < 6 {
+		return nil, errShort
+	}
+	t := &PeerIndexTable{CollectorID: netip.AddrFrom4([4]byte(b[0:4]))}
+	nameLen := int(binary.BigEndian.Uint16(b[4:]))
+	b = b[6:]
+	if len(b) < nameLen+2 {
+		return nil, errShort
+	}
+	t.ViewName = string(b[:nameLen])
+	b = b[nameLen:]
+	count := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	t.Peers = make([]Peer, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 5 {
+			return nil, errShort
+		}
+		flags := b[0]
+		p := Peer{BGPID: netip.AddrFrom4([4]byte(b[1:5]))}
+		b = b[5:]
+		addrLen := 4
+		if flags&peerFlagV6 != 0 {
+			addrLen = 16
+		}
+		asLen := 2
+		if flags&peerFlagAS4 != 0 {
+			asLen = 4
+		}
+		if len(b) < addrLen+asLen {
+			return nil, errShort
+		}
+		addr, _ := netip.AddrFromSlice(b[:addrLen])
+		p.Addr = addr
+		b = b[addrLen:]
+		if asLen == 4 {
+			p.ASN = binary.BigEndian.Uint32(b)
+		} else {
+			p.ASN = uint32(binary.BigEndian.Uint16(b))
+		}
+		b = b[asLen:]
+		t.Peers = append(t.Peers, p)
+	}
+	return t, nil
+}
+
+// RIBEntry is one peer's route for a RIB record's prefix.
+type RIBEntry struct {
+	PeerIndex  uint16
+	Originated time.Time
+	Attrs      *bgp.PathAttributes
+}
+
+// RIB is a TABLE_DUMP_V2 RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record:
+// every peer's best route for one prefix.
+type RIB struct {
+	Sequence uint32
+	Prefix   netip.Prefix
+	Entries  []RIBEntry
+}
+
+func (r *RIB) appendTo(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, r.Sequence)
+	dst = bgp.AppendNLRI(dst, r.Prefix)
+	if len(r.Entries) > 0xffff {
+		return nil, fmt.Errorf("mrt: too many RIB entries (%d)", len(r.Entries))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Entries)))
+	for _, e := range r.Entries {
+		dst = binary.BigEndian.AppendUint16(dst, e.PeerIndex)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.Originated.Unix()))
+		// RFC 6396 §4.3.4: attributes in RIB entries always use 4-byte
+		// AS_PATH encoding.
+		attrs, err := e.Attrs.Encode(true)
+		if err != nil {
+			return nil, err
+		}
+		if len(attrs) > 0xffff {
+			return nil, fmt.Errorf("mrt: RIB entry attributes too long (%d)", len(attrs))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+		dst = append(dst, attrs...)
+	}
+	return dst, nil
+}
+
+func parseRIB(b []byte, v6 bool) (*RIB, error) {
+	if len(b) < 4 {
+		return nil, errShort
+	}
+	r := &RIB{Sequence: binary.BigEndian.Uint32(b)}
+	b = b[4:]
+	prefix, n, err := bgp.ParseNLRI(b, v6)
+	if err != nil {
+		return nil, err
+	}
+	r.Prefix = prefix
+	b = b[n:]
+	if len(b) < 2 {
+		return nil, errShort
+	}
+	count := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	r.Entries = make([]RIBEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 8 {
+			return nil, errShort
+		}
+		e := RIBEntry{
+			PeerIndex:  binary.BigEndian.Uint16(b),
+			Originated: time.Unix(int64(binary.BigEndian.Uint32(b[2:])), 0).UTC(),
+		}
+		alen := int(binary.BigEndian.Uint16(b[6:]))
+		b = b[8:]
+		if len(b) < alen {
+			return nil, errShort
+		}
+		e.Attrs, err = bgp.ParseAttributes(b[:alen], true)
+		if err != nil {
+			return nil, err
+		}
+		b = b[alen:]
+		r.Entries = append(r.Entries, e)
+	}
+	return r, nil
+}

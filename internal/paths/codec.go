@@ -1,0 +1,82 @@
+package paths
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// The text interchange format is one path per line:
+//
+//	collector|prefix|asn asn asn ...
+//
+// Lines starting with '#' and blank lines are ignored. The format is a
+// cousin of the "|"-separated dumps BGP tooling commonly emits.
+
+// Write renders the dataset in the text format.
+func Write(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range ds.Paths {
+		bw.WriteString(p.Collector)
+		bw.WriteByte('|')
+		if p.Prefix.IsValid() {
+			bw.WriteString(p.Prefix.String())
+		}
+		bw.WriteByte('|')
+		for i, a := range p.ASNs {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.FormatUint(uint64(a), 10))
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format.
+func Read(r io.Reader) (*Dataset, error) {
+	ds := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("paths: line %d: want 3 |-separated fields, got %d", lineno, len(parts))
+		}
+		p := Path{Collector: parts[0]}
+		if parts[1] != "" {
+			prefix, err := netip.ParsePrefix(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("paths: line %d: %v", lineno, err)
+			}
+			p.Prefix = prefix
+		}
+		for _, f := range strings.Fields(parts[2]) {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("paths: line %d: bad ASN %q", lineno, f)
+			}
+			p.ASNs = append(p.ASNs, uint32(v))
+		}
+		if len(p.ASNs) == 0 {
+			return nil, fmt.Errorf("paths: line %d: empty AS path", lineno)
+		}
+		ds.Add(p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

@@ -1,0 +1,50 @@
+package paths
+
+import (
+	"io"
+
+	"github.com/asrank-go/asrank/internal/mrt"
+)
+
+// MRTStats counts what FromMRT saw while flattening a RIB snapshot.
+type MRTStats struct {
+	Entries     int // RIB entries read
+	ASSets      int // entries discarded because the path contains AS_SETs
+	EmptyPaths  int // entries discarded for empty AS paths
+	VPPrepended int // entries whose path lacked the peer AS as first hop
+}
+
+// FromMRT flattens a TABLE_DUMP_V2 RIB snapshot into a path dataset.
+// Paths with AS_SET segments (aggregated routes) are discarded, matching
+// the paper's handling. If a path does not begin with the announcing
+// peer's ASN, the peer ASN is prepended so that ASNs[0] is always the VP.
+func FromMRT(r io.Reader, collector string) (*Dataset, MRTStats, error) {
+	ds := &Dataset{}
+	var stats MRTStats
+	rr := mrt.NewRIBReader(r)
+	for {
+		e, err := rr.Next()
+		if err == io.EOF {
+			return ds, stats, nil
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Entries++
+		path := e.RIBEntry.Attrs.Path()
+		if path.HasSet() {
+			stats.ASSets++
+			continue
+		}
+		asns := path.Flatten()
+		if len(asns) == 0 {
+			stats.EmptyPaths++
+			continue
+		}
+		if asns[0] != e.Peer.ASN {
+			stats.VPPrepended++
+			asns = append([]uint32{e.Peer.ASN}, asns...)
+		}
+		ds.Add(Path{Collector: collector, Prefix: e.Prefix, ASNs: asns})
+	}
+}

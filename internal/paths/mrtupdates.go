@@ -1,0 +1,86 @@
+package paths
+
+import (
+	"io"
+
+	"github.com/asrank-go/asrank/internal/mrt"
+)
+
+// UpdateStats counts what FromMRTUpdates saw in a BGP4MP trace.
+type UpdateStats struct {
+	Messages     int // BGP4MP message records
+	Updates      int // of which parseable UPDATEs
+	Announced    int // prefixes announced
+	Withdrawn    int // prefixes withdrawn
+	StateChanges int
+	ASSets       int // announcements discarded for AS_SET paths
+}
+
+// FromMRTUpdates flattens a BGP4MP update trace into a path corpus: the
+// latest announcement per (peer, prefix) wins and withdrawals remove
+// the route, so the result is the RIB the trace would converge to.
+func FromMRTUpdates(r io.Reader, collector string) (*Dataset, UpdateStats, error) {
+	var stats UpdateStats
+	type key struct {
+		peer   uint32
+		prefix string
+	}
+	rib := make(map[key]Path)
+	var order []key // first-announcement order for deterministic output
+
+	mr := mrt.NewReader(r)
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+		switch body := rec.Body.(type) {
+		case *mrt.BGP4MPStateChange:
+			stats.StateChanges++
+		case *mrt.BGP4MPMessage:
+			stats.Messages++
+			upd, err := body.Update()
+			if err != nil {
+				continue // non-UPDATE or unparseable message
+			}
+			stats.Updates++
+			for _, pfx := range upd.Withdrawn {
+				stats.Withdrawn++
+				delete(rib, key{body.PeerAS, pfx.String()})
+			}
+			path := upd.Attrs.Path()
+			if len(upd.NLRI) == 0 {
+				continue
+			}
+			if path.HasSet() {
+				stats.ASSets += len(upd.NLRI)
+				continue
+			}
+			asns := path.Flatten()
+			if len(asns) == 0 {
+				continue
+			}
+			if asns[0] != body.PeerAS {
+				asns = append([]uint32{body.PeerAS}, asns...)
+			}
+			for _, pfx := range upd.NLRI {
+				stats.Announced++
+				k := key{body.PeerAS, pfx.String()}
+				if _, seen := rib[k]; !seen {
+					order = append(order, k)
+				}
+				rib[k] = Path{Collector: collector, Prefix: pfx, ASNs: asns}
+			}
+		}
+	}
+	ds := &Dataset{}
+	for _, k := range order {
+		if p, ok := rib[k]; ok {
+			ds.Add(p)
+		}
+	}
+	return ds, stats, nil
+}

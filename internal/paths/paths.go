@@ -1,0 +1,175 @@
+// Package paths models the corpus of AS paths that relationship
+// inference consumes: paths observed at route collectors from vantage
+// point (VP) ASes, with the sanitization pass the ASRank paper applies
+// before inference (prepending compression, loop/reserved/IXP filtering)
+// and codecs for a plain-text interchange format and MRT RIB snapshots.
+package paths
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Path is one AS path as seen at a collector: ASNs[0] is the VP (the
+// collector's BGP peer) and ASNs[len-1] is the origin AS of Prefix.
+type Path struct {
+	Collector string
+	Prefix    netip.Prefix
+	ASNs      []uint32
+}
+
+// VP returns the vantage-point AS (first hop) of the path.
+func (p Path) VP() uint32 {
+	if len(p.ASNs) == 0 {
+		return 0
+	}
+	return p.ASNs[0]
+}
+
+// Origin returns the origin AS (last hop) of the path.
+func (p Path) Origin() uint32 {
+	if len(p.ASNs) == 0 {
+		return 0
+	}
+	return p.ASNs[len(p.ASNs)-1]
+}
+
+// Link is an undirected AS adjacency, normalized so A < B.
+type Link struct {
+	A, B uint32
+}
+
+// NewLink returns the normalized link between two ASes.
+func NewLink(x, y uint32) Link {
+	if x > y {
+		x, y = y, x
+	}
+	return Link{A: x, B: y}
+}
+
+// String renders the link as "a-b".
+func (l Link) String() string { return fmt.Sprintf("%d-%d", l.A, l.B) }
+
+// Dataset is a corpus of AS paths.
+type Dataset struct {
+	Paths []Path
+}
+
+// Add appends a path to the dataset.
+func (d *Dataset) Add(p Path) { d.Paths = append(d.Paths, p) }
+
+// NumPaths returns the number of paths.
+func (d *Dataset) NumPaths() int { return len(d.Paths) }
+
+// ASes returns the set of ASNs appearing anywhere in the corpus.
+func (d *Dataset) ASes() map[uint32]bool {
+	set := make(map[uint32]bool)
+	for _, p := range d.Paths {
+		for _, a := range p.ASNs {
+			set[a] = true
+		}
+	}
+	return set
+}
+
+// VPs returns the set of vantage-point ASes with the number of paths
+// each contributes.
+func (d *Dataset) VPs() map[uint32]int {
+	vps := make(map[uint32]int)
+	for _, p := range d.Paths {
+		if len(p.ASNs) > 0 {
+			vps[p.ASNs[0]]++
+		}
+	}
+	return vps
+}
+
+// Links returns every undirected adjacency with the number of paths it
+// appears in.
+func (d *Dataset) Links() map[Link]int {
+	links := make(map[Link]int)
+	for _, p := range d.Paths {
+		for i := 0; i+1 < len(p.ASNs); i++ {
+			links[NewLink(p.ASNs[i], p.ASNs[i+1])]++
+		}
+	}
+	return links
+}
+
+// SortedLinks returns the keys of Links in deterministic order.
+func SortedLinks(links map[Link]int) []Link {
+	out := make([]Link, 0, len(links))
+	for l := range links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Degrees returns the node degree (number of distinct neighbors) of
+// every AS in the corpus.
+func (d *Dataset) Degrees() map[uint32]int {
+	neighbors := make(map[uint32]map[uint32]bool)
+	addNbr := func(a, b uint32) {
+		m, ok := neighbors[a]
+		if !ok {
+			m = make(map[uint32]bool)
+			neighbors[a] = m
+		}
+		m[b] = true
+	}
+	for _, p := range d.Paths {
+		for i := 0; i+1 < len(p.ASNs); i++ {
+			addNbr(p.ASNs[i], p.ASNs[i+1])
+			addNbr(p.ASNs[i+1], p.ASNs[i])
+		}
+	}
+	deg := make(map[uint32]int, len(neighbors))
+	for a, m := range neighbors {
+		deg[a] = len(m)
+	}
+	return deg
+}
+
+// TransitDegrees returns the transit degree of every AS: the number of
+// distinct neighbors an AS appears adjacent to in paths where it is in a
+// transit (non-edge) position. Stub ASes and pure VP/origin endpoints
+// have transit degree 0. This is the paper's primary ranking metric.
+func (d *Dataset) TransitDegrees() map[uint32]int {
+	transit := make(map[uint32]map[uint32]bool)
+	for _, p := range d.Paths {
+		for i := 1; i+1 < len(p.ASNs); i++ {
+			mid := p.ASNs[i]
+			m, ok := transit[mid]
+			if !ok {
+				m = make(map[uint32]bool)
+				transit[mid] = m
+			}
+			m[p.ASNs[i-1]] = true
+			m[p.ASNs[i+1]] = true
+		}
+	}
+	out := make(map[uint32]int, len(transit))
+	for a, m := range transit {
+		out[a] = len(m)
+	}
+	return out
+}
+
+// MeanPathLength returns the mean number of AS hops (links) per path.
+func (d *Dataset) MeanPathLength() float64 {
+	if len(d.Paths) == 0 {
+		return 0
+	}
+	var total int
+	for _, p := range d.Paths {
+		total += len(p.ASNs) - 1
+	}
+	return float64(total) / float64(len(d.Paths))
+}

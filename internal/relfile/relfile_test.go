@@ -1,0 +1,58 @@
+package relfile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rels := map[paths.Link]topology.Relationship{
+		paths.NewLink(1, 2): topology.P2C,
+		paths.NewLink(3, 4): topology.C2P,
+		paths.NewLink(5, 6): topology.P2P,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rels, "clique: 1 2", "links: 3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# clique: 1 2") {
+		t.Error("comment missing")
+	}
+	if !strings.Contains(out, "1|2|-1") {
+		t.Errorf("p2c line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4|3|-1") {
+		t.Errorf("c2p orientation wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "5|6|0") {
+		t.Errorf("p2p line missing:\n%s", out)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rels) {
+		t.Errorf("round trip:\ngot  %v\nwant %v", got, rels)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"1|2",      // too few fields
+		"x|2|-1",   // bad ASN
+		"1|y|-1",   // bad ASN
+		"1|2|7",    // bad code
+		"1|2|-1|z", // too many fields
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d (%q) should fail", i, c)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package rpsl
+
+import (
+	"fmt"
+
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/stats"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// Relationships derives AS relationships from a set of aut-num policy
+// views, one side at a time (an IRR rarely holds both sides):
+//
+//   - X imports ANY from Y              → Y is X's provider
+//   - X exports ANY to Y                → Y is X's customer
+//   - X imports AS<Y> and exports AS<X> → X and Y peer
+//
+// When both sides registered policy, agreement keeps the relationship
+// and disagreement drops the link (the paper discards conflicted
+// validation data).
+func Relationships(autnums []*AutNum) map[paths.Link]topology.Relationship {
+	votes := make(map[paths.Link][]topology.Relationship)
+	record := func(x, y uint32, relXtoY topology.Relationship) {
+		l := paths.NewLink(x, y)
+		r := relXtoY
+		if l.A != x {
+			r = r.Invert()
+		}
+		votes[l] = append(votes[l], r)
+	}
+	for _, an := range autnums {
+		imports := make(map[uint32]Policy, len(an.Imports))
+		for _, p := range an.Imports {
+			imports[p.Peer] = p
+		}
+		exports := make(map[uint32]Policy, len(an.Exports))
+		for _, p := range an.Exports {
+			exports[p.Peer] = p
+		}
+		for peer, imp := range imports {
+			exp, hasExp := exports[peer]
+			switch {
+			case imp.AcceptsAny():
+				// Full table from the neighbor: provider.
+				record(an.ASN, peer, topology.C2P)
+			case hasExp && exp.AcceptsAny():
+				// We give the neighbor the full table: customer.
+				record(an.ASN, peer, topology.P2C)
+			case hasExp:
+				// Mutual specific filters: peering.
+				record(an.ASN, peer, topology.P2P)
+			}
+		}
+		// Export-only entries (import side unregistered).
+		for peer, exp := range exports {
+			if _, hasImp := imports[peer]; !hasImp && exp.AcceptsAny() {
+				record(an.ASN, peer, topology.P2C)
+			}
+		}
+	}
+	out := make(map[paths.Link]topology.Relationship, len(votes))
+	for l, vs := range votes {
+		agreed := vs[0]
+		ok := true
+		for _, v := range vs[1:] {
+			if v != agreed {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[l] = agreed
+		}
+	}
+	return out
+}
+
+// GenerateOptions controls synthetic IRR generation.
+type GenerateOptions struct {
+	Seed int64
+	// RegisterFrac is the fraction of ASes that maintain an aut-num
+	// object (IRR coverage is partial).
+	RegisterFrac float64
+	// StaleFrac is the fraction of registered policies that are stale:
+	// they describe a neighbor the AS no longer has, mimicking outdated
+	// IRR data.
+	StaleFrac float64
+}
+
+// Generate renders aut-num objects for a random subset of a topology's
+// ASes, following the conventions Relationships expects. It returns the
+// objects; stale policies reference a random non-neighbor.
+func Generate(topo *topology.Topology, opts GenerateOptions) []*Object {
+	if opts.RegisterFrac <= 0 {
+		opts.RegisterFrac = 0.3
+	}
+	rng := stats.NewRNG(opts.Seed)
+	var out []*Object
+	asns := topo.ASNs()
+	for _, a := range asns {
+		if !rng.Bool(opts.RegisterFrac) {
+			continue
+		}
+		as := topo.AS(a)
+		o := &Object{}
+		add := func(name, value string) {
+			o.Attrs = append(o.Attrs, Attr{Name: name, Value: value})
+		}
+		add("aut-num", fmt.Sprintf("AS%d", a))
+		add("as-name", fmt.Sprintf("NET-%d", a))
+		add("descr", fmt.Sprintf("synthetic %s network, region %d", as.Class, as.Region))
+		for _, prov := range as.Providers {
+			add("import", fmt.Sprintf("from AS%d accept ANY", prov))
+			add("export", fmt.Sprintf("to AS%d announce AS%d", prov, a))
+		}
+		for _, peer := range as.Peers {
+			add("import", fmt.Sprintf("from AS%d accept AS%d", peer, peer))
+			add("export", fmt.Sprintf("to AS%d announce AS%d", peer, a))
+		}
+		for _, cust := range as.Customers {
+			add("import", fmt.Sprintf("from AS%d accept AS%d", cust, cust))
+			add("export", fmt.Sprintf("to AS%d announce ANY", cust))
+		}
+		if opts.StaleFrac > 0 && rng.Bool(opts.StaleFrac) && len(asns) > 1 {
+			// A stale provider entry pointing at a random AS.
+			other := asns[rng.Intn(len(asns))]
+			if other != a && !topo.HasLink(a, other) {
+				add("import", fmt.Sprintf("from AS%d accept ANY", other))
+				add("export", fmt.Sprintf("to AS%d announce AS%d", other, a))
+			}
+		}
+		add("mnt-by", fmt.Sprintf("MAINT-AS%d", a))
+		add("source", "SYNTH")
+		out = append(out, o)
+	}
+	return out
+}
+
+// AutNums parses every aut-num object in objects, skipping other
+// classes.
+func AutNums(objects []*Object) ([]*AutNum, error) {
+	var out []*AutNum
+	for _, o := range objects {
+		if o.Class() != "aut-num" {
+			continue
+		}
+		an, err := ParseAutNum(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, an)
+	}
+	return out, nil
+}

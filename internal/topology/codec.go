@@ -1,0 +1,137 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// The topology text format has one record per line:
+//
+//	A|asn|class|region       an AS
+//	R|x|y|p2c                x is a provider of y
+//	R|x|y|p2p                x and y peer
+//	P|asn|prefix             asn originates prefix
+//
+// AS lines must precede the links and prefixes that reference them.
+
+// Write serializes the topology deterministically: ASes in insertion
+// order, then prefixes, then links sorted by endpoint.
+func (t *Topology) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, asn := range t.order {
+		a := t.ases[asn]
+		fmt.Fprintf(bw, "A|%d|%s|%d\n", a.ASN, a.Class, a.Region)
+	}
+	for _, asn := range t.order {
+		for _, p := range t.ases[asn].Prefixes {
+			fmt.Fprintf(bw, "P|%d|%s\n", asn, p)
+		}
+	}
+	for _, asn := range t.order {
+		a := t.ases[asn]
+		for _, c := range a.Customers {
+			fmt.Fprintf(bw, "R|%d|%d|p2c\n", asn, c)
+		}
+		for _, p := range a.Peers {
+			if asn < p { // write each peering once
+				fmt.Fprintf(bw, "R|%d|%d|p2p\n", asn, p)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format.
+func Read(r io.Reader) (*Topology, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	classByName := map[string]Class{
+		"tier1": ClassTier1, "transit": ClassTransit,
+		"stub": ClassStub, "content": ClassContent,
+	}
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		fail := func(msg string, args ...any) (*Topology, error) {
+			return nil, fmt.Errorf("topology: line %d: %s", lineno, fmt.Sprintf(msg, args...))
+		}
+		switch fields[0] {
+		case "A":
+			if len(fields) != 4 {
+				return fail("A record wants 4 fields, got %d", len(fields))
+			}
+			asn, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return fail("bad ASN %q", fields[1])
+			}
+			class, ok := classByName[fields[2]]
+			if !ok {
+				return fail("bad class %q", fields[2])
+			}
+			region, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return fail("bad region %q", fields[3])
+			}
+			if t.AS(uint32(asn)) != nil {
+				return fail("duplicate AS %d", asn)
+			}
+			t.AddAS(&AS{ASN: uint32(asn), Class: class, Region: region})
+		case "P":
+			if len(fields) != 3 {
+				return fail("P record wants 3 fields, got %d", len(fields))
+			}
+			asn, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return fail("bad ASN %q", fields[1])
+			}
+			a := t.AS(uint32(asn))
+			if a == nil {
+				return fail("prefix for unknown AS %d", asn)
+			}
+			p, err := netip.ParsePrefix(fields[2])
+			if err != nil {
+				return fail("bad prefix %q: %v", fields[2], err)
+			}
+			a.Prefixes = append(a.Prefixes, p)
+		case "R":
+			if len(fields) != 4 {
+				return fail("R record wants 4 fields, got %d", len(fields))
+			}
+			x, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return fail("bad ASN %q", fields[1])
+			}
+			y, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return fail("bad ASN %q", fields[2])
+			}
+			switch fields[3] {
+			case "p2c":
+				err = t.AddP2C(uint32(x), uint32(y))
+			case "p2p":
+				err = t.AddP2P(uint32(x), uint32(y))
+			default:
+				return fail("bad relationship %q", fields[3])
+			}
+			if err != nil {
+				return fail("%v", err)
+			}
+		default:
+			return fail("unknown record type %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,67 @@
+package asrank
+
+import (
+	"io"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// Ground-truth and simulation API, re-exported for experiments that
+// need a data substitute for real collector archives.
+type (
+	// Topology is an AS graph with ground-truth relationships.
+	Topology = topology.Topology
+	// TopologyParams controls synthetic Internet generation.
+	TopologyParams = topology.Params
+	// EvolveParams controls longitudinal snapshot series.
+	EvolveParams = topology.EvolveParams
+	// SimOptions configures a simulated collection run.
+	SimOptions = bgpsim.Options
+	// SimResult is a simulated collection: paths plus run metadata.
+	SimResult = bgpsim.Result
+)
+
+// DefaultTopologyParams returns the baseline generator parameters.
+func DefaultTopologyParams(seed int64) TopologyParams {
+	return topology.DefaultParams(seed)
+}
+
+// GenerateInternet builds a synthetic Internet with known ground truth.
+func GenerateInternet(p TopologyParams) *Topology { return topology.Generate(p) }
+
+// GenerateSeries builds evolving snapshots (the longitudinal substrate).
+func GenerateSeries(p TopologyParams, e EvolveParams) []*Topology {
+	return topology.GenerateSeries(p, e)
+}
+
+// DefaultEvolveParams returns the series parameters the experiments use.
+func DefaultEvolveParams() EvolveParams { return topology.DefaultEvolveParams() }
+
+// DefaultSimOptions returns the collection options the experiments use.
+func DefaultSimOptions(seed int64) SimOptions { return bgpsim.DefaultOptions(seed) }
+
+// Simulate propagates routes over topo and returns the paths a
+// collector peering with the selected vantage points would record.
+func Simulate(topo *Topology, opts SimOptions) (*SimResult, error) {
+	return bgpsim.Run(topo, opts)
+}
+
+// ExportMRT writes a simulated collection as a TABLE_DUMP_V2 snapshot.
+func ExportMRT(w io.Writer, res *SimResult, timestamp time.Time) error {
+	return bgpsim.ExportMRT(w, res, timestamp)
+}
+
+// ExportUpdates writes a simulated collection as a BGP4MP update trace
+// (session establishment plus announcements), the other archive format
+// collectors publish.
+func ExportUpdates(w io.Writer, res *SimResult, start time.Time) error {
+	return bgpsim.ExportUpdates(w, res, start)
+}
+
+// ValleyFree reports whether a path obeys Gao–Rexford export rules
+// under a topology's ground-truth relationships.
+func ValleyFree(topo *Topology, path []uint32) bool {
+	return bgpsim.ValleyFree(topo, path)
+}

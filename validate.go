@@ -1,0 +1,88 @@
+package asrank
+
+import (
+	"io"
+
+	"github.com/asrank-go/asrank/internal/baseline"
+	"github.com/asrank-go/asrank/internal/rpsl"
+	"github.com/asrank-go/asrank/internal/validation"
+)
+
+// Validation API, re-exported.
+type (
+	// Corpus accumulates multi-source validation data.
+	Corpus = validation.Corpus
+	// ValidationMetrics scores an inference against validation data.
+	ValidationMetrics = validation.Metrics
+	// ValidationSource identifies where a validation datum came from.
+	ValidationSource = validation.Source
+)
+
+// Validation sources.
+const (
+	SourceReported    = validation.SourceReported
+	SourceRPSL        = validation.SourceRPSL
+	SourceCommunities = validation.SourceCommunities
+)
+
+// NewCorpus returns an empty validation corpus.
+func NewCorpus() *Corpus { return validation.NewCorpus() }
+
+// ReportedRelationships samples operator-reported ground truth from a
+// topology (frac of links, noiseFrac mislabeled).
+func ReportedRelationships(topo *Topology, frac, noiseFrac float64, seed int64) map[Link]Relationship {
+	return validation.Reported(topo, frac, noiseFrac, seed)
+}
+
+// RPSLRelationships extracts relationships from RPSL text (aut-num
+// import/export policies).
+func RPSLRelationships(r io.Reader) (map[Link]Relationship, error) {
+	objects, err := rpsl.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	autnums, err := rpsl.AutNums(objects)
+	if err != nil {
+		return nil, err
+	}
+	return rpsl.Relationships(autnums), nil
+}
+
+// CommunityRelationships extracts relationship-encoding communities
+// from an MRT RIB snapshot.
+func CommunityRelationships(r io.Reader) (map[Link]Relationship, error) {
+	return validation.FromCommunitiesMRT(r)
+}
+
+// Evaluate scores inferred relationships against a truth map.
+func Evaluate(inferred, truth map[Link]Relationship) ValidationMetrics {
+	return validation.Evaluate(inferred, truth)
+}
+
+// EvaluateCorpus scores inferred relationships against a corpus.
+func EvaluateCorpus(inferred map[Link]Relationship, c *Corpus) ValidationMetrics {
+	return validation.EvaluateCorpus(inferred, c)
+}
+
+// Baseline algorithms for comparison.
+type (
+	// GaoOptions tunes the Gao (2001) baseline.
+	GaoOptions = baseline.GaoOptions
+	// UCLAOptions tunes the UCLA (2010) baseline.
+	UCLAOptions = baseline.UCLAOptions
+)
+
+// InferGao runs Gao's 2001 degree-based algorithm.
+func InferGao(ds *Dataset, opts GaoOptions) map[Link]Relationship {
+	return baseline.Gao(ds, opts)
+}
+
+// InferXiaGao runs the Xia–Gao 2004 partial-truth propagation.
+func InferXiaGao(ds *Dataset, partial map[Link]Relationship) map[Link]Relationship {
+	return baseline.XiaGao(ds, partial)
+}
+
+// InferUCLA runs the UCLA-style clique-anchored inference.
+func InferUCLA(ds *Dataset, opts UCLAOptions) map[Link]Relationship {
+	return baseline.UCLA(ds, opts)
+}
