@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race-enabled gate the parallel cone engine is held to.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -141,11 +141,25 @@ type (
 	Relations = cone.Relations
 	// ConeSets maps each AS to its cone membership.
 	ConeSets = cone.Sets
+	// ConeBitSets is the compact bitset cone representation the
+	// parallel engine produces.
+	ConeBitSets = cone.BitSets
 )
 
 // NewRelations indexes an inferred or ground-truth relationship map.
+// The cone engines fan out over runtime.GOMAXPROCS workers by default;
+// chain WithWorkers to override:
+//
+//	rels := asrank.NewRelations(res.Rels).WithWorkers(4)
 func NewRelations(rels map[Link]Relationship) *Relations {
 	return cone.NewRelations(rels)
+}
+
+// NewRelationsWorkers is NewRelations with an explicit worker-pool
+// size for the cone engines (<= 0 selects runtime.GOMAXPROCS). Worker
+// count never changes results, only wall-clock time.
+func NewRelationsWorkers(rels map[Link]Relationship, workers int) *Relations {
+	return cone.NewRelations(rels).WithWorkers(workers)
 }
 
 // RankByCone orders ASes by decreasing cone size — the AS Rank order.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"runtime"
 	"testing"
 	"time"
 
@@ -128,6 +129,10 @@ func BenchmarkInfer(b *testing.B) {
 	}
 }
 
+// BenchmarkConeRecursive measures the steady-state cost of the cone
+// query API: the first iteration computes, the rest hit the memoized
+// result — the pattern the experiment pipeline actually exhibits. The
+// *Seq/*Parallel variants below pin the cold compute cost.
 func BenchmarkConeRecursive(b *testing.B) {
 	_, _, res := benchCorpus(b)
 	rels := cone.NewRelations(res.Rels)
@@ -138,6 +143,8 @@ func BenchmarkConeRecursive(b *testing.B) {
 	}
 }
 
+// BenchmarkConePPObserved measures the steady-state PP-cone query cost
+// (memoized after the first iteration, like BenchmarkConeRecursive).
 func BenchmarkConePPObserved(b *testing.B) {
 	_, clean, res := benchCorpus(b)
 	rels := cone.NewRelations(res.Rels)
@@ -145,6 +152,84 @@ func BenchmarkConePPObserved(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rels.ProviderPeerObserved(clean)
+	}
+}
+
+// BenchmarkConeRecursiveSeq measures the cold single-worker engine —
+// interning plus closure plus Sets materialization, no memoization —
+// so the parallel speedup is visible in one -bench=ConeRecursive run.
+func BenchmarkConeRecursiveSeq(b *testing.B) {
+	_, _, res := benchCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cone.NewRelations(res.Rels).WithWorkers(1).Recursive()
+	}
+}
+
+// BenchmarkConeRecursiveParallel measures the cold full-fan-out bitset
+// closure (no Sets materialization, no memoization): Relations is
+// rebuilt each iteration so every RecursiveBits call computes.
+func BenchmarkConeRecursiveParallel(b *testing.B) {
+	_, _, res := benchCorpus(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cone.NewRelations(res.Rels).WithWorkers(workers).RecursiveBits()
+	}
+}
+
+// BenchmarkConePPObservedParallel measures the cold sharded
+// chain-crediting engine in the compact representation.
+func BenchmarkConePPObservedParallel(b *testing.B) {
+	_, clean, res := benchCorpus(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cone.NewRelations(res.Rels).WithWorkers(workers).ProviderPeerObservedBits(clean)
+	}
+}
+
+// BenchmarkInferLarge exercises the inference pipeline at 3× the
+// micro-bench scale, where the interned cycle checks dominate the old
+// map-based DFS.
+func BenchmarkInferLarge(b *testing.B) {
+	p := topology.DefaultParams(1)
+	p.ASes = 3000
+	topo := topology.Generate(p)
+	opts := bgpsim.DefaultOptions(1)
+	opts.NumVPs = 25
+	sim, err := bgpsim.Run(topo, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean, _ := paths.Sanitize(sim.Dataset, paths.SanitizeOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Infer(clean, core.Options{})
+	}
+}
+
+// BenchmarkSanitizeParallel measures the sharded cleaning pass at full
+// fan-out (BenchmarkSanitize pins the same corpus; its options default
+// to GOMAXPROCS too, so the pair tracks sharding overhead).
+func BenchmarkSanitizeParallel(b *testing.B) {
+	p := topology.DefaultParams(1)
+	p.ASes = 1000
+	topo := topology.Generate(p)
+	opts := bgpsim.DefaultOptions(1)
+	opts.NumVPs = 15
+	sim, err := bgpsim.Run(topo, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths.Sanitize(sim.Dataset, paths.SanitizeOptions{Workers: runtime.GOMAXPROCS(0)})
 	}
 }
 

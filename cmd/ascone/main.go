@@ -29,6 +29,7 @@ func main() {
 		weight    = flag.String("weight", "ases", "cone size metric: ases, prefixes, or addresses")
 		top       = flag.Int("top", 20, "rows to print")
 		ppdc      = flag.String("ppdc", "", "also write cone membership in CAIDA ppdc-ases format here")
+		workers   = flag.Int("workers", 0, "worker-pool size for sanitization and cone engines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *pathsFile == "" {
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ds, _ = paths.Sanitize(ds, paths.SanitizeOptions{})
+	ds, _ = paths.Sanitize(ds, paths.SanitizeOptions{Workers: *workers})
 
 	var rels map[paths.Link]topology.Relationship
 	var transitDegree map[uint32]int
@@ -64,7 +65,7 @@ func main() {
 		transitDegree = res.TransitDegree
 	}
 
-	r := cone.NewRelations(rels)
+	r := cone.NewRelations(rels).WithWorkers(*workers)
 	var cones cone.Sets
 	switch *method {
 	case "pp":

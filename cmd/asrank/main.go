@@ -26,6 +26,7 @@ func main() {
 		collector = flag.String("collector", "mrt", "collector label for -mrt input")
 		out       = flag.String("o", "-", "relationships output ('-' = stdout)")
 		steps     = flag.Bool("steps", false, "print per-step link counts to stderr")
+		workers   = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 		fatal(err)
 	}
 
-	res := core.Infer(ds, core.Options{Sanitize: true})
+	res := core.Infer(ds, core.Options{Sanitize: true, Workers: *workers})
 
 	var c2p, p2p int
 	for _, rel := range res.Rels {

@@ -1,0 +1,88 @@
+package cone
+
+import (
+	"math/bits"
+
+	"github.com/asrank-go/asrank/internal/asindex"
+	"github.com/asrank-go/asrank/internal/pool"
+)
+
+// BitSets is the compact cone representation the parallel engine
+// produces: one bitset of interned AS positions per AS. It answers
+// size and membership queries without materializing maps; Sets()
+// converts to the legacy map-of-sets form when callers need it.
+type BitSets struct {
+	idx     *asindex.Index
+	cones   []asindex.Bitset
+	workers int
+}
+
+// Index returns the dense ASN index the cones are expressed in.
+func (bs *BitSets) Index() *asindex.Index { return bs.idx }
+
+// Len returns the number of ASes with a cone.
+func (bs *BitSets) Len() int { return len(bs.cones) }
+
+// Contains reports whether member is in asn's cone.
+func (bs *BitSets) Contains(asn, member uint32) bool {
+	ai, ok1 := bs.idx.Pos(asn)
+	mi, ok2 := bs.idx.Pos(member)
+	return ok1 && ok2 && bs.cones[ai].Contains(mi)
+}
+
+// Sizes returns per-AS cone sizes in number of ASes.
+func (bs *BitSets) Sizes() map[uint32]int {
+	n := len(bs.cones)
+	counts := make([]int, n)
+	pool.Chunks(bs.workers, n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[i] = bs.cones[i].Count()
+		}
+	})
+	out := make(map[uint32]int, n)
+	for i, c := range counts {
+		out[bs.idx.ASN(int32(i))] = c
+	}
+	return out
+}
+
+// Members returns asn's cone membership, ascending, or nil when asn is
+// not interned.
+func (bs *BitSets) Members(asn uint32) []uint32 {
+	ai, ok := bs.idx.Pos(asn)
+	if !ok {
+		return nil
+	}
+	b := bs.cones[ai]
+	out := make([]uint32, 0, b.Count())
+	b.ForEach(func(i int32) { out = append(out, bs.idx.ASN(i)) })
+	return out
+}
+
+// Sets materializes the legacy map-of-sets representation, sharding
+// the per-AS conversion across the worker pool. The word loop is
+// inlined (rather than Bitset.ForEach) to keep a per-member closure
+// call out of the hottest conversion loop.
+func (bs *BitSets) Sets() Sets {
+	n := len(bs.cones)
+	ms := make([]map[uint32]bool, n)
+	asns := bs.idx.ASNs()
+	pool.Chunks(bs.workers, n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := bs.cones[i]
+			m := make(map[uint32]bool, b.Count())
+			for wi, w := range b {
+				for w != 0 {
+					m[asns[wi<<6+bits.TrailingZeros64(w)]] = true
+					w &= w - 1
+				}
+			}
+			ms[i] = m
+		}
+	})
+	out := make(Sets, n)
+	for i, m := range ms {
+		out[bs.idx.ASN(int32(i))] = m
+	}
+	return out
+}

@@ -13,12 +13,22 @@
 //
 // For every AS: PP cone ⊆ BGP-observed cone ⊆ recursive cone, and the
 // AS is always in its own cone.
+//
+// The engine interns ASNs into a dense index (internal/asindex) and
+// accumulates each cone as a bitset, fanning the closure and the
+// per-path chain crediting out over a bounded worker pool with a
+// deterministic shard merge, so results are identical to a sequential
+// run regardless of worker count.
 package cone
 
 import (
+	"net/netip"
 	"sort"
+	"sync"
 
+	"github.com/asrank-go/asrank/internal/asindex"
 	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/pool"
 	"github.com/asrank-go/asrank/internal/topology"
 )
 
@@ -64,15 +74,37 @@ func (s Sets) AddressWeighted(addrCount map[uint32]int64) map[uint32]int64 {
 	return out
 }
 
+// v4Prefix normalizes a corpus prefix to plain IPv4, accepting the
+// IPv4-mapped-in-IPv6 form (::ffff:a.b.c.d/96+n) that MRT feeds can
+// legitimately carry. It reports false for everything else.
+func v4Prefix(p netip.Prefix) (netip.Prefix, bool) {
+	if !p.IsValid() {
+		return netip.Prefix{}, false
+	}
+	addr, bits := p.Addr(), p.Bits()
+	if addr.Is4In6() {
+		if bits < 96 {
+			return netip.Prefix{}, false
+		}
+		addr, bits = addr.Unmap(), bits-96
+	}
+	if !addr.Is4() {
+		return netip.Prefix{}, false
+	}
+	return netip.PrefixFrom(addr, bits), true
+}
+
 // AddressCounts sums the address span of each origin's prefixes from a
 // path corpus: a /24 contributes 256 addresses. Overlapping prefixes
 // from the same origin are counted once per distinct prefix, which
-// matches how the paper counts routed space.
+// matches how the paper counts routed space. IPv4-mapped IPv6 prefixes
+// are normalized to their embedded IPv4 prefix first.
 func AddressCounts(ds *paths.Dataset) map[uint32]int64 {
 	seen := make(map[uint32]map[string]bool)
 	out := make(map[uint32]int64)
 	for _, p := range ds.Paths {
-		if !p.Prefix.IsValid() || !p.Prefix.Addr().Is4() {
+		prefix, ok := v4Prefix(p.Prefix)
+		if !ok {
 			continue
 		}
 		origin := p.Origin()
@@ -81,12 +113,12 @@ func AddressCounts(ds *paths.Dataset) map[uint32]int64 {
 			m = make(map[string]bool)
 			seen[origin] = m
 		}
-		key := p.Prefix.String()
+		key := prefix.String()
 		if m[key] {
 			continue
 		}
 		m[key] = true
-		out[origin] += int64(1) << (32 - p.Prefix.Bits())
+		out[origin] += int64(1) << (32 - prefix.Bits())
 	}
 	return out
 }
@@ -116,42 +148,73 @@ func PrefixCounts(ds *paths.Dataset) map[uint32]int {
 }
 
 // Relations indexes an inferred (or ground-truth) relationship set for
-// cone computation.
+// cone computation: ASNs are interned into a dense index and the p2c
+// digraph is stored as interned adjacency lists.
+//
+// Relations is immutable after construction (WithWorkers only tunes how
+// work is sharded, never what is computed), so every cone product is
+// memoized: repeated calls to Recursive, BGPObserved,
+// ProviderPeerObserved, or their *Bits variants return the same shared
+// value. Callers must treat returned Sets and BitSets as read-only.
 type Relations struct {
-	customers map[uint32][]uint32
-	rel       map[paths.Link]topology.Relationship
-	ases      []uint32
+	rel     map[paths.Link]topology.Relationship
+	idx     *asindex.Index
+	custIdx [][]int32 // provider position → customer positions, ascending
+	workers int       // worker-pool size; <= 0 selects GOMAXPROCS
+
+	mu      sync.Mutex
+	recBits *BitSets
+	recSets Sets
+	obsBits map[obsKey]*BitSets
+	obsSets map[obsKey]Sets
+}
+
+// obsKey identifies one observed-cone product: the path corpus it was
+// computed over and which crediting rule (BGP vs provider/peer) applied.
+type obsKey struct {
+	ds        *paths.Dataset
+	needEntry bool
 }
 
 // NewRelations indexes rels, whose orientation is canonical (relative to
-// Link.A, as produced by core.Infer and topology.Links).
+// Link.A, as produced by core.Infer and topology.Links). The map is
+// retained, not copied — callers must not mutate it afterwards.
 func NewRelations(rels map[paths.Link]topology.Relationship) *Relations {
-	r := &Relations{
-		customers: make(map[uint32][]uint32),
-		rel:       make(map[paths.Link]topology.Relationship, len(rels)),
+	asns := make([]uint32, 0, 2*len(rels))
+	for l := range rels {
+		asns = append(asns, l.A, l.B)
 	}
-	seen := make(map[uint32]bool)
+	r := &Relations{
+		rel: rels,
+		idx: asindex.New(asns),
+	}
+	r.custIdx = make([][]int32, r.idx.Len())
 	for l, rel := range rels {
-		r.rel[l] = rel
+		var provider, customer uint32
 		switch rel {
 		case topology.P2C:
-			r.customers[l.A] = append(r.customers[l.A], l.B)
+			provider, customer = l.A, l.B
 		case topology.C2P:
-			r.customers[l.B] = append(r.customers[l.B], l.A)
+			provider, customer = l.B, l.A
+		default:
+			continue
 		}
-		if !seen[l.A] {
-			seen[l.A] = true
-			r.ases = append(r.ases, l.A)
-		}
-		if !seen[l.B] {
-			seen[l.B] = true
-			r.ases = append(r.ases, l.B)
-		}
+		pi, _ := r.idx.Pos(provider)
+		ci, _ := r.idx.Pos(customer)
+		r.custIdx[pi] = append(r.custIdx[pi], ci)
 	}
-	sort.Slice(r.ases, func(i, j int) bool { return r.ases[i] < r.ases[j] })
-	for _, cs := range r.customers {
+	for _, cs := range r.custIdx {
 		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 	}
+	return r
+}
+
+// WithWorkers sets the worker-pool size used by the cone engines and
+// returns r for chaining. Values <= 0 (the default) select
+// runtime.GOMAXPROCS. Worker count never changes results, only how the
+// work is sharded.
+func (r *Relations) WithWorkers(n int) *Relations {
+	r.workers = n
 	return r
 }
 
@@ -168,89 +231,262 @@ func (r *Relations) Rel(x, y uint32) topology.Relationship {
 }
 
 // ASes returns every AS appearing in the relationship set, ascending.
-func (r *Relations) ASes() []uint32 { return r.ases }
+// The returned slice is shared; callers must not modify it.
+func (r *Relations) ASes() []uint32 { return r.idx.ASNs() }
+
+// Index returns the dense ASN index the engine interned.
+func (r *Relations) Index() *asindex.Index { return r.idx }
 
 // Recursive computes the transitive-closure customer cone of every AS.
+// The result is memoized; treat it as read-only.
 func (r *Relations) Recursive() Sets {
-	out := make(Sets, len(r.ases))
-	for _, asn := range r.ases {
-		cone := map[uint32]bool{}
-		stack := []uint32{asn}
-		for len(stack) > 0 {
-			x := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if cone[x] {
-				continue
-			}
-			cone[x] = true
-			stack = append(stack, r.customers[x]...)
-		}
-		out[asn] = cone
+	bits := r.RecursiveBits()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.recSets == nil {
+		r.recSets = bits.Sets()
 	}
-	return out
+	return r.recSets
+}
+
+// RecursiveBits is Recursive in the compact bitset representation,
+// memoized like Recursive.
+func (r *Relations) RecursiveBits() *BitSets {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.recBits == nil {
+		r.recBits = r.computeRecursiveBits()
+	}
+	return r.recBits
+}
+
+// computeRecursiveBits does the closure. On the (usual) acyclic p2c
+// digraph each cone is the word-wise OR of its customers' cones in
+// reverse topological order; cyclic inputs — possible when indexing an
+// arbitrary relationship file — fall back to an independent DFS per AS,
+// sharded across the worker pool.
+func (r *Relations) computeRecursiveBits() *BitSets {
+	n := r.idx.Len()
+	cones := asindex.NewBitsets(n, n)
+	if order, acyclic := r.reverseTopo(); acyclic {
+		for _, x := range order {
+			b := cones[x]
+			b.Set(x)
+			for _, c := range r.custIdx[x] {
+				b.Or(cones[c])
+			}
+		}
+	} else {
+		pool.Chunks(r.workers, n, 64, func(lo, hi int) {
+			var stack []int32
+			for i := lo; i < hi; i++ {
+				b := cones[i]
+				b.Set(int32(i))
+				stack = append(stack[:0], int32(i))
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, c := range r.custIdx[x] {
+						if b.TrySet(c) {
+							stack = append(stack, c)
+						}
+					}
+				}
+			}
+		})
+	}
+	return &BitSets{idx: r.idx, cones: cones, workers: r.workers}
+}
+
+// reverseTopo returns the positions of the p2c digraph ordered so every
+// customer precedes its providers, and whether the graph is acyclic
+// (positions on a cycle never drain in Kahn's algorithm).
+func (r *Relations) reverseTopo() ([]int32, bool) {
+	n := r.idx.Len()
+	indeg := make([]int32, n) // providers pointing at each position
+	for _, cs := range r.custIdx {
+		for _, c := range cs {
+			indeg[c]++
+		}
+	}
+	order := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			order = append(order, int32(i))
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		for _, c := range r.custIdx[order[head]] {
+			if indeg[c]--; indeg[c] == 0 {
+				order = append(order, c)
+			}
+		}
+	}
+	if len(order) < n {
+		return nil, false
+	}
+	// order currently runs providers → customers; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, true
 }
 
 // RecursiveOne computes a single AS's recursive cone.
 func (r *Relations) RecursiveOne(asn uint32) map[uint32]bool {
-	cone := map[uint32]bool{}
-	stack := []uint32{asn}
+	start, ok := r.idx.Pos(asn)
+	if !ok {
+		return map[uint32]bool{asn: true}
+	}
+	n := r.idx.Len()
+	b := asindex.NewBitset(n)
+	b.Set(start)
+	stack := []int32{start}
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if cone[x] {
-			continue
+		for _, c := range r.custIdx[x] {
+			if b.TrySet(c) {
+				stack = append(stack, c)
+			}
 		}
-		cone[x] = true
-		stack = append(stack, r.customers[x]...)
 	}
+	cone := make(map[uint32]bool, b.Count())
+	b.ForEach(func(i int32) { cone[r.idx.ASN(i)] = true })
 	return cone
 }
 
 // BGPObserved computes cones from observed paths: starting at each
 // position where the next hop is one of the AS's customers, every AS on
-// the maximal descending (p2c) chain is in the cone.
+// the maximal descending (p2c) chain is in the cone. The result is
+// memoized per dataset; treat it as read-only.
 func (r *Relations) BGPObserved(ds *paths.Dataset) Sets {
-	out := r.selfCones()
-	for _, p := range ds.Paths {
-		r.addChains(out, p.ASNs, false)
-	}
-	return out
+	return r.observedSetsCached(ds, false)
+}
+
+// BGPObservedBits is BGPObserved in the compact bitset representation,
+// memoized like BGPObserved.
+func (r *Relations) BGPObservedBits(ds *paths.Dataset) *BitSets {
+	return r.observedBitsCached(ds, false)
 }
 
 // ProviderPeerObserved computes the PP cone: like BGPObserved, but a
 // position only contributes when the path entered the AS from one of
 // its providers or peers — third parties demonstrably routing through
-// the AS to reach the cone member.
+// the AS to reach the cone member. The result is memoized per dataset;
+// treat it as read-only.
 func (r *Relations) ProviderPeerObserved(ds *paths.Dataset) Sets {
-	out := r.selfCones()
-	for _, p := range ds.Paths {
-		r.addChains(out, p.ASNs, true)
-	}
-	return out
+	return r.observedSetsCached(ds, true)
 }
 
-func (r *Relations) selfCones() Sets {
-	out := make(Sets, len(r.ases))
-	for _, asn := range r.ases {
-		out[asn] = map[uint32]bool{asn: true}
-	}
-	return out
+// ProviderPeerObservedBits is ProviderPeerObserved in the compact
+// bitset representation, memoized like ProviderPeerObserved.
+func (r *Relations) ProviderPeerObservedBits(ds *paths.Dataset) *BitSets {
+	return r.observedBitsCached(ds, true)
 }
 
-// addChains walks one path and credits descending chains to cones.
+// observedBitsCached memoizes observedBits per (dataset, rule) pair.
+// Datasets are immutable once built (Sanitize returns a fresh one), so
+// pointer identity is a sound cache key.
+func (r *Relations) observedBitsCached(ds *paths.Dataset, needEntry bool) *BitSets {
+	k := obsKey{ds, needEntry}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.obsBits[k]
+	if !ok {
+		b = r.observedBits(ds, needEntry)
+		if r.obsBits == nil {
+			r.obsBits = make(map[obsKey]*BitSets)
+		}
+		r.obsBits[k] = b
+	}
+	return b
+}
+
+// observedSetsCached memoizes the materialized map form alongside the
+// bitset form.
+func (r *Relations) observedSetsCached(ds *paths.Dataset, needEntry bool) Sets {
+	bits := r.observedBitsCached(ds, needEntry)
+	k := obsKey{ds, needEntry}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.obsSets[k]
+	if !ok {
+		s = bits.Sets()
+		if r.obsSets == nil {
+			r.obsSets = make(map[obsKey]Sets)
+		}
+		r.obsSets[k] = s
+	}
+	return s
+}
+
+// observedBits shards the path corpus across the worker pool, credits
+// descending chains into per-shard cone accumulators, and merges the
+// shards in fixed shard order so the result is independent of worker
+// scheduling.
+func (r *Relations) observedBits(ds *paths.Dataset, needEntry bool) *BitSets {
+	n := r.idx.Len()
+	shards := make([][]asindex.Bitset, pool.NumShards(r.workers, len(ds.Paths)))
+	pool.Range(r.workers, len(ds.Paths), func(shard, lo, hi int) {
+		local := make([]asindex.Bitset, n)
+		var scratch chainScratch
+		for _, p := range ds.Paths[lo:hi] {
+			r.addChains(local, p.ASNs, needEntry, &scratch)
+		}
+		shards[shard] = local
+	})
+	cones := asindex.NewBitsets(n, n)
+	pool.Chunks(r.workers, n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := cones[i]
+			for _, local := range shards {
+				if local[i] != nil {
+					b.Or(local[i])
+				}
+			}
+			b.Set(int32(i)) // an AS is always in its own cone
+		}
+	})
+	return &BitSets{idx: r.idx, cones: cones, workers: r.workers}
+}
+
+// chainScratch holds per-worker buffers addChains reuses across paths.
+type chainScratch struct {
+	pos       []int32
+	hopRel    []topology.Relationship
+	descendTo []int
+}
+
+// addChains walks one path and credits descending chains into cones.
 // With needEntry, a chain from position i is credited only when hop
 // i-1 → i comes from a provider or peer of path[i].
-func (r *Relations) addChains(out Sets, asns []uint32, needEntry bool) {
-	// descendTo[i] is the furthest index reachable from i by consecutive
-	// p2c hops; computed right to left.
+func (r *Relations) addChains(cones []asindex.Bitset, asns []uint32, needEntry bool, sc *chainScratch) {
 	n := len(asns)
 	if n < 2 {
 		return
 	}
-	descendTo := make([]int, n)
+	if cap(sc.pos) < n {
+		sc.pos = make([]int32, n)
+		sc.hopRel = make([]topology.Relationship, n)
+		sc.descendTo = make([]int, n)
+	}
+	pos, hopRel, descendTo := sc.pos[:n], sc.hopRel[:n-1], sc.descendTo[:n]
+	for i, a := range asns {
+		if p, ok := r.idx.Pos(a); ok {
+			pos[i] = p
+		} else {
+			pos[i] = -1
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		hopRel[i] = r.Rel(asns[i], asns[i+1])
+	}
+	// descendTo[i] is the furthest index reachable from i by consecutive
+	// p2c hops; computed right to left.
 	descendTo[n-1] = n - 1
 	for i := n - 2; i >= 0; i-- {
-		if r.Rel(asns[i], asns[i+1]) == topology.P2C {
+		if hopRel[i] == topology.P2C {
 			descendTo[i] = descendTo[i+1]
 		} else {
 			descendTo[i] = i
@@ -264,20 +500,23 @@ func (r *Relations) addChains(out Sets, asns []uint32, needEntry bool) {
 			if i == 0 {
 				continue // the VP has no entering hop
 			}
-			switch r.Rel(asns[i-1], asns[i]) {
+			switch hopRel[i-1] {
 			case topology.P2C, topology.P2P:
 				// provider or peer of asns[i]: credited
 			default:
 				continue
 			}
 		}
-		cone := out[asns[i]]
+		// A p2c hop out of position i implies the link is in the
+		// relationship set, so every chain position is interned.
+		cone := cones[pos[i]]
 		if cone == nil {
-			cone = map[uint32]bool{asns[i]: true}
-			out[asns[i]] = cone
+			cone = asindex.NewBitset(len(r.custIdx))
+			cone.Set(pos[i])
+			cones[pos[i]] = cone
 		}
 		for j := i + 1; j <= descendTo[i]; j++ {
-			cone[asns[j]] = true
+			cone.Set(pos[j])
 		}
 	}
 }

@@ -292,6 +292,32 @@ func TestAddressAndPrefixCounts(t *testing.T) {
 	}
 }
 
+func TestAddressCountsIs4In6(t *testing.T) {
+	ds := &paths.Dataset{}
+	add := func(prefix string, asns ...uint32) {
+		ds.Add(paths.Path{Collector: "c", Prefix: netip.MustParsePrefix(prefix), ASNs: asns})
+	}
+	// MRT feeds can carry IPv4 prefixes in IPv4-mapped IPv6 form; the
+	// embedded /24 must be counted like its plain-IPv4 twin.
+	add("::ffff:10.0.0.0/120", 1, 2, 5)
+	if got := AddressCounts(ds)[5]; got != 256 {
+		t.Errorf("addresses(5) from 4-in-6 prefix = %d, want 256", got)
+	}
+	// The plain-IPv4 form of the same prefix is a duplicate, not new
+	// address space.
+	add("10.0.0.0/24", 1, 2, 5)
+	add("10.1.0.0/24", 1, 2, 5)
+	if got := AddressCounts(ds)[5]; got != 512 {
+		t.Errorf("addresses(5) after plain duplicate + new /24 = %d, want 512", got)
+	}
+	// Native IPv6 and mapped prefixes shorter than /96 stay excluded.
+	add("2001:db8::/32", 1, 2, 6)
+	add("::ffff:0.0.0.0/64", 1, 2, 6)
+	if got := AddressCounts(ds)[6]; got != 0 {
+		t.Errorf("addresses(6) from IPv6 prefixes = %d, want 0", got)
+	}
+}
+
 func TestAddressWeightedCones(t *testing.T) {
 	r := hierarchy()
 	cones := r.Recursive()

@@ -93,6 +93,10 @@ type Options struct {
 	Sanitize bool
 	// IXPASes is forwarded to sanitization when Sanitize is set.
 	IXPASes map[uint32]bool
+	// Workers bounds the worker pool of the parallel stages (currently
+	// path sanitization); <= 0 selects runtime.GOMAXPROCS. Worker count
+	// never changes results.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -226,7 +230,7 @@ func Infer(ds *paths.Dataset, opts Options) *Result {
 	opts = opts.withDefaults()
 	var st paths.SanitizeStats
 	if opts.Sanitize {
-		ds, st = paths.Sanitize(ds, paths.SanitizeOptions{IXPASes: opts.IXPASes})
+		ds, st = paths.Sanitize(ds, paths.SanitizeOptions{IXPASes: opts.IXPASes, Workers: opts.Workers})
 	}
 	return inferSanitized(ds, opts, st)
 }
@@ -268,15 +272,7 @@ func inferSanitized(ds *paths.Dataset, opts Options, sanStats paths.SanitizeStat
 		}
 	}
 
-	inf := &inferencer{
-		ds:           ds,
-		opts:         opts,
-		res:          res,
-		clique:       cliqueSet,
-		links:        links,
-		customers:    make(map[uint32][]uint32),
-		providerless: make(map[uint32]bool),
-	}
+	inf := newInferencer(ds, opts, res, cliqueSet, links)
 	if !opts.DisableProviderless {
 		inf.detectProviderless()
 	}

@@ -3,11 +3,14 @@ package core
 import (
 	"sort"
 
+	"github.com/asrank-go/asrank/internal/asindex"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/topology"
 )
 
-// inferencer carries the mutable state of steps 5–9.
+// inferencer carries the mutable state of steps 5–9. Every observed AS
+// is interned into a dense index so the cycle-prevention digraph and
+// its reachability queries run on ints and bitsets instead of maps.
 type inferencer struct {
 	ds     *paths.Dataset
 	opts   Options
@@ -15,14 +18,43 @@ type inferencer struct {
 	clique map[uint32]bool
 	links  map[paths.Link]int
 
-	// customers is the p2c digraph built so far (provider → customers),
-	// used for cycle prevention.
-	customers map[uint32][]uint32
+	// idx interns every ranked AS; custIdx is the p2c digraph built so
+	// far (provider position → customer positions), used for cycle
+	// prevention.
+	idx     *asindex.Index
+	custIdx [][]int32
+
+	// desc memoizes per-node descendant bitsets for createsCycle;
+	// entries are valid only while descEpoch matches epoch, which is
+	// bumped on every edge insert.
+	desc      []asindex.Bitset
+	descEpoch []uint64
+	epoch     uint64
+	stack     []int32 // DFS scratch
 
 	// providerless flags ASes inferred to peer with the clique rather
 	// than buy transit (large content networks): no c2p edge may point
 	// at them.
 	providerless map[uint32]bool
+}
+
+// newInferencer interns the ranked AS set and prepares the mutable
+// inference state.
+func newInferencer(ds *paths.Dataset, opts Options, res *Result, clique map[uint32]bool, links map[paths.Link]int) *inferencer {
+	idx := asindex.New(res.Rank)
+	return &inferencer{
+		ds:           ds,
+		opts:         opts,
+		res:          res,
+		clique:       clique,
+		links:        links,
+		idx:          idx,
+		custIdx:      make([][]int32, idx.Len()),
+		desc:         make([]asindex.Bitset, idx.Len()),
+		descEpoch:    make([]uint64, idx.Len()),
+		epoch:        1,
+		providerless: make(map[uint32]bool),
+	}
 }
 
 // detectProviderless flags ASes that peer with the clique instead of
@@ -91,7 +123,10 @@ func (in *inferencer) setC2P(provider, customer uint32, step Step) {
 		in.res.Rels[l] = topology.C2P
 	}
 	in.res.Steps[l] = step
-	in.customers[provider] = append(in.customers[provider], customer)
+	pi, _ := in.idx.Pos(provider)
+	ci, _ := in.idx.Pos(customer)
+	in.custIdx[pi] = append(in.custIdx[pi], ci)
+	in.epoch++ // invalidate memoized descendant sets
 }
 
 // labeled reports whether the link between x and y has a relationship.
@@ -107,22 +142,38 @@ func (in *inferencer) createsCycle(provider, customer uint32) bool {
 	if provider == customer {
 		return true
 	}
-	seen := map[uint32]bool{customer: true}
-	stack := []uint32{customer}
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, c := range in.customers[x] {
-			if c == provider {
-				return true
-			}
-			if !seen[c] {
-				seen[c] = true
-				stack = append(stack, c)
+	pi, ok := in.idx.Pos(provider)
+	if !ok {
+		return false
+	}
+	ci, ok := in.idx.Pos(customer)
+	if !ok {
+		return false
+	}
+	return in.descendants(ci).Contains(pi)
+}
+
+// descendants returns the set of positions reachable from ci (inclusive)
+// via customer edges, memoized until the next edge insert.
+func (in *inferencer) descendants(ci int32) asindex.Bitset {
+	if in.descEpoch[ci] == in.epoch {
+		return in.desc[ci]
+	}
+	b := asindex.NewBitset(in.idx.Len())
+	b.Set(ci)
+	in.stack = append(in.stack[:0], ci)
+	for len(in.stack) > 0 {
+		x := in.stack[len(in.stack)-1]
+		in.stack = in.stack[:len(in.stack)-1]
+		for _, c := range in.custIdx[x] {
+			if b.TrySet(c) {
+				in.stack = append(in.stack, c)
 			}
 		}
 	}
-	return false
+	in.desc[ci] = b
+	in.descEpoch[ci] = in.epoch
+	return b
 }
 
 // triplet is one (previous, next) context for a middle AS in some path.
@@ -140,26 +191,31 @@ type triplet struct {
 // The pass repeats until a fixpoint (bounded by TopDownPasses), since a
 // later AS's labels can unlock an earlier AS's triplets.
 func (in *inferencer) topDown() {
-	// Collect distinct triplets per middle AS.
-	trips := make(map[uint32]map[triplet]bool)
+	// Collect distinct triplets per middle AS, keyed by interned
+	// position: every ranked AS has a dense slot, so the per-AS lookup
+	// in the fixpoint loop is an index, not a map probe.
+	trips := make([]map[triplet]bool, in.idx.Len())
 	for _, p := range in.ds.Paths {
 		for i := 0; i+1 < len(p.ASNs); i++ {
-			z := p.ASNs[i]
+			zi, ok := in.idx.Pos(p.ASNs[i])
+			if !ok {
+				continue // not ranked: cannot appear in Rank order below
+			}
 			var prev uint32
 			if i > 0 {
 				prev = p.ASNs[i-1]
 			}
-			m, ok := trips[z]
-			if !ok {
+			m := trips[zi]
+			if m == nil {
 				m = make(map[triplet]bool)
-				trips[z] = m
+				trips[zi] = m
 			}
 			m[triplet{prev: prev, next: p.ASNs[i+1]}] = true
 		}
 	}
 	// Deterministic triplet order per AS.
-	sortedTrips := make(map[uint32][]triplet, len(trips))
-	for z, m := range trips {
+	sortedTrips := make([][]triplet, len(trips))
+	for zi, m := range trips {
 		ts := make([]triplet, 0, len(m))
 		for t := range m {
 			ts = append(ts, t)
@@ -170,13 +226,14 @@ func (in *inferencer) topDown() {
 			}
 			return ts[i].prev < ts[j].prev
 		})
-		sortedTrips[z] = ts
+		sortedTrips[zi] = ts
 	}
 
 	for pass := 0; pass < in.opts.TopDownPasses; pass++ {
 		changed := false
 		for _, z := range in.res.Rank {
-			for _, t := range sortedTrips[z] {
+			zi, _ := in.idx.Pos(z)
+			for _, t := range sortedTrips[zi] {
 				if t.next == z || in.clique[t.next] || in.providerless[t.next] {
 					continue
 				}
@@ -300,6 +357,11 @@ func (in *inferencer) stubClique() {
 // is a peering-heavy network (content at IXPs), not a stub, and is left
 // for the p2p default.
 func (in *inferencer) fold() {
+	// unlabeled counts each AS's links still without a relationship.
+	// The counts are kept live — decremented as this pass labels links
+	// — so the peeringRich guard sees the current degree, not the
+	// stale pre-pass snapshot: a network whose other links fold away
+	// earlier in the same pass is a stub, not peering-rich.
 	unlabeled := make(map[uint32]int)
 	for _, l := range paths.SortedLinks(in.links) {
 		if _, done := in.res.Rels[l]; !done {
@@ -333,6 +395,8 @@ func (in *inferencer) fold() {
 			continue
 		}
 		in.setC2P(provider, customer, StepFold)
+		unlabeled[l.A]--
+		unlabeled[l.B]--
 	}
 }
 

@@ -2,6 +2,7 @@ package paths
 
 import (
 	"github.com/asrank-go/asrank/internal/asn"
+	"github.com/asrank-go/asrank/internal/pool"
 )
 
 // SanitizeOptions controls the sanitization pass.
@@ -13,6 +14,12 @@ type SanitizeOptions struct {
 	// KeepDuplicates retains byte-identical (collector, prefix, path)
 	// duplicates instead of collapsing them.
 	KeepDuplicates bool
+	// Workers bounds the worker pool that cleans path shards in
+	// parallel; <= 0 selects runtime.GOMAXPROCS. Worker count never
+	// changes results: per-path cleaning is independent, and the
+	// order-dependent bookkeeping (stats, dedup, output order) runs
+	// over the cleaned shards in input order.
+	Workers int
 }
 
 // SanitizeStats counts what the sanitization pass did, feeding the
@@ -32,13 +39,33 @@ type SanitizeStats struct {
 // dataset: prepending is compressed, IXP route-server ASNs are spliced
 // out, and paths containing reserved ASNs or loops are discarded, as are
 // (by default) exact duplicates.
+//
+// Per-path cleaning is sharded across a worker pool (SanitizeOptions.
+// Workers); the discard/dedup bookkeeping then walks the cleaned paths
+// in input order, so output and stats are identical at any worker count.
+// PrependingRemoved and IXPSpliced count kept paths only, preserving
+// Input == Kept + ReservedDiscarded + LoopDiscarded + TooShort +
+// Duplicates with each kept row attributable to the corpus that
+// inference actually sees.
 func Sanitize(ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
 	stats := SanitizeStats{Input: len(ds.Paths)}
 	out := &Dataset{Paths: make([]Path, 0, len(ds.Paths))}
 	seen := make(map[string]bool)
 
-	for _, p := range ds.Paths {
-		cleaned, info := sanitizePath(p.ASNs, opts.IXPASes)
+	type cleanedPath struct {
+		asns []uint32
+		info pathInfo
+	}
+	cleanedPaths := make([]cleanedPath, len(ds.Paths))
+	pool.Range(opts.Workers, len(ds.Paths), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			asns, info := sanitizePath(ds.Paths[i].ASNs, opts.IXPASes)
+			cleanedPaths[i] = cleanedPath{asns: asns, info: info}
+		}
+	})
+
+	for i, p := range ds.Paths {
+		cleaned, info := cleanedPaths[i].asns, cleanedPaths[i].info
 		switch info {
 		case pathReserved:
 			stats.ReservedDiscarded++
@@ -46,12 +73,6 @@ func Sanitize(ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
 		case pathLoop:
 			stats.LoopDiscarded++
 			continue
-		}
-		if info&pathPrepended != 0 {
-			stats.PrependingRemoved++
-		}
-		if info&pathIXP != 0 {
-			stats.IXPSpliced++
 		}
 		if len(cleaned) < 2 {
 			stats.TooShort++
@@ -65,6 +86,12 @@ func Sanitize(ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
 				continue
 			}
 			seen[key] = true
+		}
+		if info&pathPrepended != 0 {
+			stats.PrependingRemoved++
+		}
+		if info&pathIXP != 0 {
+			stats.IXPSpliced++
 		}
 		out.Add(np)
 	}

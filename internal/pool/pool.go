@@ -1,0 +1,105 @@
+// Package pool provides the bounded worker pool the parallel engines
+// share: fan a contiguous index range out over a fixed number of
+// goroutines with deterministic shard boundaries, so per-shard results
+// can be merged in a fixed order regardless of scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Workers option: values <= 0 select
+// runtime.GOMAXPROCS(0).
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Range splits [0, n) into at most `workers` contiguous shards and runs
+// fn(shard, lo, hi) for each, concurrently when workers > 1. Shard
+// boundaries depend only on (workers, n), so shard indices are stable
+// inputs for deterministic merges. It blocks until every shard is done.
+func Range(workers, n int, fn func(shard, lo, hi int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Chunks runs fn over [0, n) in fixed-size chunks handed to workers via
+// work stealing, for phases whose per-index cost is skewed (a few huge
+// cones among many tiny ones) and whose writes are disjoint, so chunk
+// assignment order does not matter.
+func Chunks(workers, n, chunk int, fn func(lo, hi int)) {
+	workers = Resolve(workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo, hi := c*chunk, (c+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NumShards returns how many non-empty shards Range will produce for
+// (workers, n) — the length callers should allocate for per-shard
+// accumulators.
+func NumShards(workers, n int) int {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return 0
+	}
+	return workers
+}

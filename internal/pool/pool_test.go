@@ -1,0 +1,52 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangeCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]int32, n)
+			Range(workers, n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeShardIDsAreStable(t *testing.T) {
+	n := 100
+	workers := 4
+	bounds := make([][2]int, NumShards(workers, n))
+	Range(workers, n, func(shard, lo, hi int) {
+		bounds[shard] = [2]int{lo, hi}
+	})
+	want := [][2]int{{0, 25}, {25, 50}, {50, 75}, {75, 100}}
+	for i, b := range bounds {
+		if b != want[i] {
+			t.Errorf("shard %d = %v, want %v", i, b, want[i])
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(5) != 5 {
+		t.Error("Resolve(5) != 5")
+	}
+	if Resolve(0) != runtime.GOMAXPROCS(0) {
+		t.Error("Resolve(0) != GOMAXPROCS")
+	}
+	if NumShards(8, 3) != 3 {
+		t.Errorf("NumShards(8,3) = %d", NumShards(8, 3))
+	}
+}
