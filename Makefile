@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench metrics-lint
 
 build:
 	$(GO) build ./...
@@ -15,3 +15,9 @@ check:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Standalone exposition-format gate: the strict Prometheus text-format
+# checks on obs itself plus the end-to-end /metrics surface.
+metrics-lint:
+	$(GO) test -count=1 -run 'TestExposition|TestLint' ./internal/obs
+	$(GO) test -count=1 -run TestMetricsEndToEnd ./internal/apiserver

@@ -15,6 +15,7 @@ import (
 
 	"github.com/asrank-go/asrank/internal/cone"
 	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/relfile"
 	"github.com/asrank-go/asrank/internal/stats"
@@ -30,6 +31,7 @@ func main() {
 		top       = flag.Int("top", 20, "rows to print")
 		ppdc      = flag.String("ppdc", "", "also write cone membership in CAIDA ppdc-ases format here")
 		workers   = flag.Int("workers", 0, "worker-pool size for sanitization and cone engines (0 = GOMAXPROCS)")
+		report    = flag.Bool("stats", false, "dump the metrics registry as a run report to stderr after the run")
 	)
 	flag.Parse()
 	if *pathsFile == "" {
@@ -60,7 +62,7 @@ func main() {
 		}
 		transitDegree = ds.TransitDegrees()
 	} else {
-		res := core.Infer(ds, core.Options{})
+		res := core.Infer(ds, core.Options{Workers: *workers})
 		rels = res.Rels
 		transitDegree = res.TransitDegree
 	}
@@ -118,6 +120,9 @@ func main() {
 		t.AddRow(i+1, asn, sizes[asn], transitDegree[asn])
 	}
 	fmt.Print(t.String())
+	if *report {
+		obs.Default().WriteReport(os.Stderr)
+	}
 }
 
 func fatal(err error) {

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/relfile"
 	"github.com/asrank-go/asrank/internal/topology"
@@ -27,6 +28,7 @@ func main() {
 		out       = flag.String("o", "-", "relationships output ('-' = stdout)")
 		steps     = flag.Bool("steps", false, "print per-step link counts to stderr")
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
+		stats     = flag.Bool("stats", false, "dump the metrics registry as a run report to stderr after inference")
 	)
 	flag.Parse()
 
@@ -74,6 +76,9 @@ func main() {
 		for _, c := range res.CountsByStep() {
 			fmt.Fprintf(os.Stderr, "  %-14s c2p=%-7d p2p=%d\n", c.Step, c.C2P, c.P2P)
 		}
+	}
+	if *stats {
+		obs.Default().WriteReport(os.Stderr)
 	}
 
 	w := os.Stdout

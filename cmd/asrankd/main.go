@@ -8,25 +8,42 @@
 //	asrankd -paths paths.txt -listen 127.0.0.1:8080
 //	curl http://127.0.0.1:8080/api/v1/asns?limit=10
 //	curl http://127.0.0.1:8080/api/v1/asns/3356/links
+//
+// With -debug-listen, a second listener serves operational surfaces:
+//
+//	asrankd -paths paths.txt -debug-listen 127.0.0.1:6060
+//	curl http://127.0.0.1:6060/metrics            # Prometheus text format
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
+//
+// SIGINT/SIGTERM drain in-flight requests via http.Server.Shutdown
+// before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/asrank-go/asrank/internal/apiserver"
 	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 )
 
 func main() {
 	var (
-		pathsFile = flag.String("paths", "", "text path file (required)")
-		mrtFile   = flag.String("mrt", "", "MRT RIB file (alternative to -paths)")
-		listen    = flag.String("listen", "127.0.0.1:8080", "listen address")
+		pathsFile   = flag.String("paths", "", "text path file (required)")
+		mrtFile     = flag.String("mrt", "", "MRT RIB file (alternative to -paths)")
+		listen      = flag.String("listen", "127.0.0.1:8080", "listen address")
+		debugListen = flag.String("debug-listen", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
+		workers     = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
+		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -57,27 +74,65 @@ func main() {
 	}
 
 	start := time.Now()
-	res := core.Infer(ds, core.Options{Sanitize: true})
+	res := core.Infer(ds, core.Options{Sanitize: true, Workers: *workers})
 	data := apiserver.Build(res)
 	log.Printf("asrankd: inferred %d links (clique %v) in %s",
 		len(res.Rels), res.Clique, time.Since(start).Round(time.Millisecond))
 
-	srv := &http.Server{
+	api := &http.Server{
 		Addr:         *listen,
-		Handler:      logRequests(apiserver.NewHandler(data)),
+		Handler:      apiserver.LogRequests(apiserver.NewHandler(data)),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
-	log.Printf("asrankd: serving on http://%s/api/v1/", *listen)
-	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
-		log.Fatalf("asrankd: %v", err)
-	}
-}
 
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
+	// The debug listener is deliberately separate from the API address:
+	// /metrics and pprof never share a port (or timeouts — CPU profiles
+	// stream for longer than any API response) with user traffic.
+	var debug *http.Server
+	if *debugListen != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("GET /metrics", obs.Default().Handler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debug = &http.Server{Addr: *debugListen, Handler: dmux}
+		go func() {
+			log.Printf("asrankd: debug surface on http://%s/metrics", *debugListen)
+			if err := debug.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("asrankd: debug listener: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("asrankd: serving on http://%s/api/v1/", *listen)
+		errc <- api.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != http.ErrServerClosed {
+			log.Fatalf("asrankd: %v", err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("asrankd: signal received, draining for up to %s", *drainWait)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := api.Shutdown(sctx); err != nil {
+			log.Printf("asrankd: shutdown: %v", err)
+			api.Close()
+		}
+		if debug != nil {
+			debug.Shutdown(sctx)
+		}
+		log.Printf("asrankd: bye")
+	}
 }

@@ -11,6 +11,7 @@
 package apiserver
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 
 	"github.com/asrank-go/asrank/internal/cone"
 	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 )
 
@@ -95,25 +97,43 @@ func (d *Data) summary(asn uint32) asnSummary {
 	}
 }
 
-// NewHandler returns the API's HTTP handler.
+// NewHandler returns the API's HTTP handler, instrumented into the
+// process-global metrics registry.
 func NewHandler(d *Data) http.Handler {
+	return NewHandlerWith(d, obs.Default())
+}
+
+// NewHandlerWith returns the API's HTTP handler with per-route request
+// metrics recorded into reg — injectable so tests can assert on a
+// fresh registry.
+func NewHandlerWith(d *Data, reg *obs.Registry) http.Handler {
+	m := NewMetrics(reg)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/health", d.handleHealth)
-	mux.HandleFunc("GET /api/v1/clique", d.handleClique)
-	mux.HandleFunc("GET /api/v1/asns", d.handleList)
-	mux.HandleFunc("GET /api/v1/asns/{asn}", d.handleASN)
-	mux.HandleFunc("GET /api/v1/asns/{asn}/links", d.handleLinks)
-	mux.HandleFunc("GET /api/v1/asns/{asn}/cone", d.handleCone)
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle("GET "+route, m.Wrap(route, h))
+	}
+	handle("/api/v1/health", d.handleHealth)
+	handle("/api/v1/clique", d.handleClique)
+	handle("/api/v1/asns", d.handleList)
+	handle("/api/v1/asns/{asn}", d.handleASN)
+	handle("/api/v1/asns/{asn}/links", d.handleLinks)
+	handle("/api/v1/asns/{asn}/cone", d.handleCone)
 	return mux
 }
 
+// writeJSON encodes v to a buffer before touching the ResponseWriter,
+// so an encoding failure yields a clean 500 instead of a plaintext
+// error appended to a partial JSON body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, "internal error: response encoding failed", http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

@@ -1,0 +1,104 @@
+package apiserver
+
+import (
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/obs"
+)
+
+// Metrics records per-route HTTP telemetry: request counts and latency
+// histograms labeled by route pattern and status class, plus an
+// in-flight gauge. Routes are labeled at registration time (the mux
+// pattern), so label cardinality is fixed regardless of request URLs.
+type Metrics struct {
+	requests *obs.CounterVec   // route, class
+	latency  *obs.HistogramVec // route, class
+	inFlight *obs.Gauge
+}
+
+// NewMetrics registers (or re-binds, idempotently) the HTTP metric
+// families in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		requests: reg.CounterVec("asrank_http_requests_total",
+			"HTTP requests served, by route pattern and status class.", "route", "class"),
+		latency: reg.HistogramVec("asrank_http_request_duration_seconds",
+			"HTTP request latency, by route pattern and status class.",
+			obs.DurationBuckets, "route", "class"),
+		inFlight: reg.Gauge("asrank_http_in_flight_requests",
+			"Requests currently being served."),
+	}
+}
+
+// Wrap instruments one route's handler.
+func (m *Metrics) Wrap(route string, next http.Handler) http.Handler {
+	if m == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Inc()
+		defer m.inFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		class := statusClass(sw.Status())
+		m.requests.With(route, class).Inc()
+		m.latency.With(route, class).ObserveSince(t0)
+	})
+}
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Status returns the response status, defaulting to 200 when the
+// handler never called WriteHeader.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// statusClass buckets a status code into 1xx..5xx.
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// LogRequests is an access-log middleware that records the status code
+// and response size alongside method, path, and latency — replacing
+// asrankd's status-blind request logger.
+func LogRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s -> %d (%dB, %s)",
+			r.Method, r.URL.Path, sw.Status(), sw.bytes, time.Since(t0).Round(time.Microsecond))
+	})
+}

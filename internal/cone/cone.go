@@ -25,6 +25,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/asrank-go/asrank/internal/asindex"
 	"github.com/asrank-go/asrank/internal/paths"
@@ -255,7 +256,12 @@ func (r *Relations) RecursiveBits() *BitSets {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.recBits == nil {
+		coneMemo.With("recursive", "miss").Inc()
+		t0 := time.Now()
 		r.recBits = r.computeRecursiveBits()
+		coneBuildDuration.With("recursive").ObserveSince(t0)
+	} else {
+		coneMemo.With("recursive", "hit").Inc()
 	}
 	return r.recBits
 }
@@ -390,15 +396,21 @@ func (r *Relations) ProviderPeerObservedBits(ds *paths.Dataset) *BitSets {
 // pointer identity is a sound cache key.
 func (r *Relations) observedBitsCached(ds *paths.Dataset, needEntry bool) *BitSets {
 	k := obsKey{ds, needEntry}
+	engine := engineName(needEntry)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	b, ok := r.obsBits[k]
 	if !ok {
+		coneMemo.With(engine, "miss").Inc()
+		t0 := time.Now()
 		b = r.observedBits(ds, needEntry)
+		coneBuildDuration.With(engine).ObserveSince(t0)
 		if r.obsBits == nil {
 			r.obsBits = make(map[obsKey]*BitSets)
 		}
 		r.obsBits[k] = b
+	} else {
+		coneMemo.With(engine, "hit").Inc()
 	}
 	return b
 }

@@ -21,6 +21,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/topology"
@@ -228,11 +229,17 @@ func (r *Result) CountsByStep() []StepCounts {
 // Infer runs the full pipeline over a path corpus.
 func Infer(ds *paths.Dataset, opts Options) *Result {
 	opts = opts.withDefaults()
+	t0 := time.Now()
+	inferRuns.Inc()
 	var st paths.SanitizeStats
 	if opts.Sanitize {
+		s0 := time.Now()
 		ds, st = paths.Sanitize(ds, paths.SanitizeOptions{IXPASes: opts.IXPASes, Workers: opts.Workers})
+		inferStepDuration.With("sanitize").ObserveSince(s0)
 	}
-	return inferSanitized(ds, opts, st)
+	res := inferSanitized(ds, opts, st)
+	inferDuration.ObserveSince(t0)
+	return res
 }
 
 func inferSanitized(ds *paths.Dataset, opts Options, sanStats paths.SanitizeStats) *Result {
@@ -242,47 +249,72 @@ func inferSanitized(ds *paths.Dataset, opts Options, sanStats paths.SanitizeStat
 		SanitizeStats: sanStats,
 	}
 
+	// stage wraps one pipeline step with per-step duration and
+	// links-labeled metrics; the labeled watermark attributes each new
+	// entry in res.Steps to the stage that created it.
+	labeled := 0
+	stage := func(step string, fn func()) {
+		t0 := time.Now()
+		fn()
+		inferStepDuration.With(step).ObserveSince(t0)
+		if n := len(res.Steps); n > labeled {
+			inferStepLinks.With(step).Add(uint64(n - labeled))
+			labeled = n
+		}
+	}
+
 	// Step 2: ranking.
-	res.TransitDegree = ds.TransitDegrees()
-	res.Degree = ds.Degrees()
-	res.Rank = rankASes(ds, res.TransitDegree, res.Degree)
+	stage("rank", func() {
+		res.TransitDegree = ds.TransitDegrees()
+		res.Degree = ds.Degrees()
+		res.Rank = rankASes(ds, res.TransitDegree, res.Degree)
+	})
 
 	// Step 3: clique.
-	if opts.Clique != nil {
-		res.Clique = append([]uint32(nil), opts.Clique...)
-		sort.Slice(res.Clique, func(i, j int) bool { return res.Clique[i] < res.Clique[j] })
-	} else {
-		res.Clique = inferClique(ds, res.Rank, opts)
-	}
+	stage("clique", func() {
+		if opts.Clique != nil {
+			res.Clique = append([]uint32(nil), opts.Clique...)
+			sort.Slice(res.Clique, func(i, j int) bool { return res.Clique[i] < res.Clique[j] })
+		} else {
+			res.Clique = inferClique(ds, res.Rank, opts)
+		}
+	})
+	inferCliqueSize.Set(float64(len(res.Clique)))
 	cliqueSet := make(map[uint32]bool, len(res.Clique))
 	for _, c := range res.Clique {
 		cliqueSet[c] = true
 	}
 
 	// Step 4: discard poisoned paths.
-	ds, res.PoisonedPaths = discardPoisoned(ds, cliqueSet)
-	res.Dataset = ds
+	stage("poison", func() {
+		ds, res.PoisonedPaths = discardPoisoned(ds, cliqueSet)
+		res.Dataset = ds
+	})
+	inferPoisoned.Add(uint64(res.PoisonedPaths))
 
 	// Label intra-clique links p2p.
-	links := ds.Links()
-	for l := range links {
-		if cliqueSet[l.A] && cliqueSet[l.B] {
-			res.Rels[l] = topology.P2P
-			res.Steps[l] = StepClique
+	var links map[paths.Link]int
+	stage("clique-p2p", func() {
+		links = ds.Links()
+		for l := range links {
+			if cliqueSet[l.A] && cliqueSet[l.B] {
+				res.Rels[l] = topology.P2P
+				res.Steps[l] = StepClique
+			}
 		}
-	}
+	})
 
 	inf := newInferencer(ds, opts, res, cliqueSet, links)
 	if !opts.DisableProviderless {
-		inf.detectProviderless()
+		stage("providerless", inf.detectProviderless)
 	}
-	inf.topDown()    // step 5
-	inf.vpPass()     // step 6
-	inf.stubClique() // step 7
+	stage("top-down", inf.topDown)       // step 5
+	stage("vp", inf.vpPass)              // step 6
+	stage("stub-clique", inf.stubClique) // step 7
 	if !opts.DisableFold {
-		inf.fold() // step 8
+		stage("fold", inf.fold) // step 8
 	}
-	inf.peerRest() // step 9
+	stage("peer-default", inf.peerRest) // step 9
 	return res
 }
 

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition format version this
+// package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Gather writes every registered family to w in Prometheus text
+// format: families sorted by name, one HELP and TYPE line each, series
+// sorted by label values, histograms as cumulative le buckets plus
+// _sum and _count.
+func (r *Registry) Gather(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		children := f.snapshotChildren()
+		if len(children) == 0 {
+			continue // registered vec with no series yet
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, c := range children {
+			switch m := c.metric.(type) {
+			case *Counter:
+				writeSample(bw, f.name, "", f.labels, c.values, "", formatUint(m.Value()))
+			case *Gauge:
+				writeSample(bw, f.name, "", f.labels, c.values, "", formatFloat(m.Value()))
+			case *Histogram:
+				buckets, count, sum := m.snapshot()
+				var cum uint64
+				for i, b := range buckets {
+					cum += b
+					le := "+Inf"
+					if i < len(m.bounds) {
+						le = formatFloat(m.bounds[i])
+					}
+					writeSample(bw, f.name, "_bucket", f.labels, c.values, le, formatUint(cum))
+				}
+				writeSample(bw, f.name, "_sum", f.labels, c.values, "", formatFloat(sum))
+				writeSample(bw, f.name, "_count", f.labels, c.values, "", formatUint(count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Expose renders the registry to a string, for tests and reports.
+func (r *Registry) Expose() string {
+	var buf bytes.Buffer
+	r.Gather(&buf)
+	return buf.String()
+}
+
+// Handler serves the registry at an HTTP endpoint (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		r.Gather(&buf) // buffer writes cannot fail
+		w.Header().Set("Content-Type", ContentType)
+		w.Write(buf.Bytes())
+	})
+}
+
+// writeSample renders one series line: name+suffix, the label pairs
+// (plus le when non-empty), and the value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, le, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fullRegistry builds a registry exercising every metric shape.
+func fullRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("asrank_t_runs_total", "Total runs.").Add(7)
+	r.CounterVec("asrank_t_drops_total", "Drops by reason.", "reason").With("loop").Add(2)
+	r.CounterVec("asrank_t_drops_total", "Drops by reason.", "reason").With("reserved").Add(1)
+	r.Gauge("asrank_t_depth", "Queue depth.").Set(3)
+	r.GaugeVec("asrank_t_size", "Sizes.", "kind").With("clique").Set(11)
+	h := r.Histogram("asrank_t_duration_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(5)
+	hv := r.HistogramVec("asrank_t_step_seconds", "Step latency.", []float64{0.1, 1}, "step", "mode")
+	hv.With("rank", "fast").Observe(0.05)
+	hv.With("fold", "slow").Observe(2)
+	return r
+}
+
+func TestExpositionFormat(t *testing.T) {
+	out := fullRegistry().Expose()
+
+	for _, want := range []string{
+		"# HELP asrank_t_runs_total Total runs.",
+		"# TYPE asrank_t_runs_total counter",
+		"asrank_t_runs_total 7",
+		`asrank_t_drops_total{reason="loop"} 2`,
+		`asrank_t_drops_total{reason="reserved"} 1`,
+		"# TYPE asrank_t_depth gauge",
+		"asrank_t_depth 3",
+		`asrank_t_size{kind="clique"} 11`,
+		"# TYPE asrank_t_duration_seconds histogram",
+		`asrank_t_duration_seconds_bucket{le="0.01"} 1`,
+		`asrank_t_duration_seconds_bucket{le="0.1"} 1`,
+		`asrank_t_duration_seconds_bucket{le="1"} 2`,
+		`asrank_t_duration_seconds_bucket{le="+Inf"} 3`,
+		"asrank_t_duration_seconds_sum 5.505",
+		"asrank_t_duration_seconds_count 3",
+		`asrank_t_step_seconds_bucket{step="rank",mode="fast",le="0.1"} 1`,
+		`asrank_t_step_seconds_bucket{step="fold",mode="slow",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Families sorted by name: depth < drops < duration < runs.
+	if !ordered(out, "asrank_t_depth", "asrank_t_drops_total",
+		"asrank_t_duration_seconds", "asrank_t_runs_total") {
+		t.Error("families not sorted by name")
+	}
+
+	// The strict checker passes our own output.
+	if errs := Lint(out); len(errs) != 0 {
+		t.Fatalf("Lint found %d problems in our own exposition: %v", len(errs), errs)
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("asrank_t_esc_total", "Line one\nwith \\ backslash.", "route").
+		With(`/x/{asn}"quoted"`).Inc()
+	out := r.Expose()
+	if !strings.Contains(out, `# HELP asrank_t_esc_total Line one\nwith \\ backslash.`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `route="/x/{asn}\"quoted\""`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if errs := Lint(out); len(errs) != 0 {
+		t.Fatalf("Lint rejected escaped output: %v", errs)
+	}
+}
+
+func TestEmptyVecOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("asrank_t_never_used_total", "No series yet.", "x")
+	if out := r.Expose(); strings.Contains(out, "never_used") {
+		t.Errorf("empty vec leaked into exposition:\n%s", out)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "foo 1\n",
+		"TYPE before HELP":    "# TYPE foo counter\nfoo 1\n",
+		"duplicate HELP":      "# HELP foo a\n# HELP foo a\n# TYPE foo counter\nfoo 1\n",
+		"duplicate series":    "# HELP foo a\n# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"duplicate series reordered labels": "# HELP foo a\n# TYPE foo counter\n" +
+			`foo{a="1",b="2"} 1` + "\n" + `foo{b="2",a="1"} 1` + "\n",
+		"non-contiguous family": "# HELP foo a\n# TYPE foo counter\n# HELP bar b\n# TYPE bar counter\n" +
+			`foo{x="1"} 1` + "\nbar 1\n" + `foo{x="2"} 1` + "\n",
+		"bad value": "# HELP foo a\n# TYPE foo counter\nfoo hello\n",
+		"descending le": "# HELP h a\n# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_sum 1\nh_count 1\n",
+		"decreasing cumulative counts": "# HELP h a\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# HELP h a\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"count mismatch": "# HELP h a\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 4\n",
+		"missing sum": "# HELP h a\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+		"bare histogram sample": "# HELP h a\n# TYPE h histogram\nh 1\n",
+	}
+	for name, text := range cases {
+		if errs := Lint(text); len(errs) == 0 {
+			t.Errorf("%s: linter found nothing in:\n%s", name, text)
+		}
+	}
+}
+
+func TestLintAcceptsMinimalValid(t *testing.T) {
+	text := "# HELP foo a\n# TYPE foo counter\nfoo 1\n" +
+		"# HELP h b\n# TYPE h histogram\n" +
+		`h_bucket{le="1"} 2` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+		"h_sum 1.5\nh_count 3\n"
+	if errs := Lint(text); len(errs) != 0 {
+		t.Fatalf("valid exposition rejected: %v", errs)
+	}
+}
+
+// ordered reports whether the needles appear in order in s.
+func ordered(s string, needles ...string) bool {
+	pos := 0
+	for _, n := range needles {
+		i := strings.Index(s[pos:], n)
+		if i < 0 {
+			return false
+		}
+		pos += i + len(n)
+	}
+	return true
+}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint runs a strict line-oriented check over a Prometheus text-format
+// exposition and returns every violation found. It verifies, per
+// family: exactly one HELP line, then exactly one TYPE line, then
+// contiguous samples (a family never reappears after another family's
+// samples); and globally: valid metric/label names, parseable values,
+// no duplicate series, and for histograms that le bounds ascend,
+// cumulative bucket counts never decrease, the +Inf bucket exists and
+// equals _count, and _sum is present.
+func Lint(text string) []error {
+	l := &linter{
+		help:   make(map[string]bool),
+		typ:    make(map[string]string),
+		closed: make(map[string]bool),
+		series: make(map[string]bool),
+		hists:  make(map[string]*histCheck),
+	}
+	for i, line := range strings.Split(text, "\n") {
+		l.line(i+1, line)
+	}
+	l.finish()
+	return l.errs
+}
+
+type linter struct {
+	errs    []error
+	help    map[string]bool
+	typ     map[string]string
+	closed  map[string]bool // families whose sample block has ended
+	current string          // family currently emitting samples
+	series  map[string]bool
+	hists   map[string]*histCheck // per histogram child
+	order   []string              // hist child keys in first-seen order
+}
+
+// histCheck accumulates one histogram child's samples for the
+// end-of-input invariant checks.
+type histCheck struct {
+	where   int
+	les     []float64
+	counts  []uint64
+	sum     *float64
+	countV  *uint64
+	infSeen bool
+	infVal  uint64
+}
+
+func (l *linter) errorf(n int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", n, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, line string) {
+	switch {
+	case line == "":
+		return
+	case strings.HasPrefix(line, "# HELP "):
+		rest := strings.TrimPrefix(line, "# HELP ")
+		name, _, ok := strings.Cut(rest, " ")
+		if !ok || !nameRe.MatchString(name) {
+			l.errorf(n, "malformed HELP line %q", line)
+			return
+		}
+		if l.help[name] {
+			l.errorf(n, "duplicate HELP for %s", name)
+		}
+		if l.typ[name] != "" || l.closed[name] || l.current == name {
+			l.errorf(n, "HELP for %s after its TYPE or samples", name)
+		}
+		l.help[name] = true
+	case strings.HasPrefix(line, "# TYPE "):
+		fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+		if len(fields) != 2 {
+			l.errorf(n, "malformed TYPE line %q", line)
+			return
+		}
+		name, typ := fields[0], fields[1]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errorf(n, "unknown type %q for %s", typ, name)
+		}
+		if !l.help[name] {
+			l.errorf(n, "TYPE for %s before its HELP", name)
+		}
+		if l.typ[name] != "" {
+			l.errorf(n, "duplicate TYPE for %s", name)
+		}
+		if l.closed[name] || l.current == name {
+			l.errorf(n, "TYPE for %s after its samples", name)
+		}
+		l.typ[name] = typ
+	case strings.HasPrefix(line, "#"):
+		// Free-form comment: allowed anywhere.
+	default:
+		l.sample(n, line)
+	}
+}
+
+func (l *linter) sample(n int, line string) {
+	name, labels, value, err := parseSample(line)
+	if err != nil {
+		l.errorf(n, "%v", err)
+		return
+	}
+	if !nameRe.MatchString(name) {
+		l.errorf(n, "invalid metric name %q", name)
+	}
+	v, err := parseValue(value)
+	if err != nil {
+		l.errorf(n, "bad value %q for %s", value, name)
+	}
+
+	// Resolve the family: histogram samples use _bucket/_sum/_count
+	// suffixes on the family name.
+	fam, suffix := name, ""
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, s)
+		if base != name && l.typ[base] == "histogram" {
+			fam, suffix = base, s
+			break
+		}
+	}
+	if l.typ[fam] == "" {
+		l.errorf(n, "sample for %s without a TYPE line", fam)
+	}
+	if l.typ[fam] == "histogram" && suffix == "" {
+		l.errorf(n, "histogram %s exposes a bare sample", fam)
+	}
+	if fam != l.current {
+		if l.current != "" {
+			l.closed[l.current] = true
+		}
+		if l.closed[fam] {
+			l.errorf(n, "samples for %s are not contiguous", fam)
+		}
+		l.current = fam
+	}
+
+	// Duplicate-series detection on the normalized label set.
+	sorted := make([]string, 0, len(labels))
+	for _, kv := range labels {
+		if !labelRe.MatchString(kv[0]) && kv[0] != "le" {
+			l.errorf(n, "invalid label name %q on %s", kv[0], name)
+		}
+		sorted = append(sorted, kv[0]+"="+kv[1])
+	}
+	sort.Strings(sorted)
+	key := name + "{" + strings.Join(sorted, ",") + "}"
+	if l.series[key] {
+		l.errorf(n, "duplicate series %s", key)
+	}
+	l.series[key] = true
+
+	if l.typ[fam] == "histogram" {
+		l.histSample(n, fam, suffix, labels, v)
+	}
+}
+
+// histSample accumulates one histogram sample under its child key (the
+// labels minus le).
+func (l *linter) histSample(n int, fam, suffix string, labels [][2]string, v float64) {
+	var le string
+	rest := make([]string, 0, len(labels))
+	for _, kv := range labels {
+		if kv[0] == "le" {
+			le = kv[1]
+			continue
+		}
+		rest = append(rest, kv[0]+"="+kv[1])
+	}
+	key := fam + "{" + strings.Join(rest, ",") + "}"
+	hc := l.hists[key]
+	if hc == nil {
+		hc = &histCheck{where: n}
+		l.hists[key] = hc
+		l.order = append(l.order, key)
+	}
+	switch suffix {
+	case "_bucket":
+		if le == "+Inf" {
+			hc.infSeen = true
+			hc.infVal = uint64(v)
+			return
+		}
+		b, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			l.errorf(n, "bad le %q on %s", le, key)
+			return
+		}
+		hc.les = append(hc.les, b)
+		hc.counts = append(hc.counts, uint64(v))
+	case "_sum":
+		s := v
+		hc.sum = &s
+	case "_count":
+		c := uint64(v)
+		hc.countV = &c
+	}
+}
+
+// finish runs the per-histogram-child invariants once all input is read.
+func (l *linter) finish() {
+	for _, key := range l.order {
+		hc := l.hists[key]
+		for i := 1; i < len(hc.les); i++ {
+			if hc.les[i] <= hc.les[i-1] {
+				l.errorf(hc.where, "%s: le bounds not ascending", key)
+			}
+			if hc.counts[i] < hc.counts[i-1] {
+				l.errorf(hc.where, "%s: cumulative bucket counts decrease", key)
+			}
+		}
+		switch {
+		case !hc.infSeen:
+			l.errorf(hc.where, "%s: missing +Inf bucket", key)
+		case len(hc.counts) > 0 && hc.infVal < hc.counts[len(hc.counts)-1]:
+			l.errorf(hc.where, "%s: +Inf bucket below last bound", key)
+		}
+		switch {
+		case hc.countV == nil:
+			l.errorf(hc.where, "%s: missing _count", key)
+		case hc.infSeen && *hc.countV != hc.infVal:
+			l.errorf(hc.where, "%s: _count %d != +Inf bucket %d", key, *hc.countV, hc.infVal)
+		}
+		if hc.sum == nil {
+			l.errorf(hc.where, "%s: missing _sum", key)
+		}
+	}
+}
+
+// parseSample splits a sample line into name, label pairs (in exposition
+// order, values unescaped), and the value token.
+func parseSample(line string) (name string, labels [][2]string, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return "", nil, "", fmt.Errorf("unterminated labels in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) <= eq+1 || rest[eq+1] != '"' {
+				return "", nil, "", fmt.Errorf("malformed label in %q", line)
+			}
+			lname := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				if c == '\\' && len(rest) > 1 {
+					switch rest[1] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[1])
+					}
+					rest = rest[2:]
+					continue
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			labels = append(labels, [2]string{lname, val.String()})
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" || strings.ContainsAny(value, " \t") {
+		return "", nil, "", fmt.Errorf("malformed value in %q", line)
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

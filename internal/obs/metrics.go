@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// atomicFloat is a float64 with atomic add, for histogram sums.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(d float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram whose hot path is striped:
+// observations land in one of several cache-line-padded stripes, each a
+// private set of atomic bucket counters, so concurrent workers (the
+// pool's goroutines, HTTP handlers) do not contend on shared cache
+// lines. Stripe affinity rides on a sync.Pool — Get usually returns
+// the id last used on the same P, which approximates per-P sharding
+// without runtime internals. Gather sums the stripes.
+type Histogram struct {
+	bounds  []float64 // upper bounds, strictly ascending; +Inf implicit
+	stripes []histStripe
+	mask    uint32
+	ids     sync.Pool
+	nextID  atomic.Uint32
+}
+
+// histStripe is one shard of bucket counters, padded so neighboring
+// stripes never share a cache line.
+type histStripe struct {
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomicFloat
+	_      [40]byte
+}
+
+// stripeID is the pooled token carrying a goroutine's stripe affinity.
+type stripeID struct{ n uint32 }
+
+func newHistogram(bounds []float64) *Histogram {
+	n := nextPow2(runtime.GOMAXPROCS(0))
+	if n > 64 {
+		n = 64
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		stripes: make([]histStripe, n),
+		mask:    uint32(n - 1),
+	}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]atomic.Uint64, len(bounds)+1)
+	}
+	h.ids.New = func() any { return &stripeID{n: h.nextID.Add(1) - 1} }
+	return h
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	id := h.ids.Get().(*stripeID)
+	s := &h.stripes[id.n&h.mask]
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	s.counts[i].Add(1)
+	s.sum.Add(v)
+	h.ids.Put(id)
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// snapshot sums the stripes: per-bucket (non-cumulative) counts, the
+// total observation count, and the value sum. Concurrent observations
+// may be partially included; each bucket count is internally exact.
+func (h *Histogram) snapshot() (buckets []uint64, count uint64, sum float64) {
+	buckets = make([]uint64, len(h.bounds)+1)
+	for si := range h.stripes {
+		s := &h.stripes[si]
+		for i := range buckets {
+			buckets[i] += s.counts[i].Load()
+		}
+		sum += s.sum.Load()
+	}
+	for _, b := range buckets {
+		count += b
+	}
+	return buckets, count, sum
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	_, count, _ := h.snapshot()
+	return count
+}
+
+// Sum returns the sum of observed values so far.
+func (h *Histogram) Sum() float64 {
+	_, _, sum := h.snapshot()
+	return sum
+}
+
+// DurationBuckets is the default bucket layout for *_duration_seconds
+// histograms: 100µs to 30s, roughly geometric.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// ExpBuckets returns count upper bounds starting at start, each factor
+// times the previous.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package paths
 
 import (
+	"time"
+
 	"github.com/asrank-go/asrank/internal/asn"
 	"github.com/asrank-go/asrank/internal/pool"
 )
@@ -48,6 +50,7 @@ type SanitizeStats struct {
 // Duplicates with each kept row attributable to the corpus that
 // inference actually sees.
 func Sanitize(ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
+	t0 := time.Now()
 	stats := SanitizeStats{Input: len(ds.Paths)}
 	out := &Dataset{Paths: make([]Path, 0, len(ds.Paths))}
 	seen := make(map[string]bool)
@@ -96,6 +99,7 @@ func Sanitize(ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
 		out.Add(np)
 	}
 	stats.Kept = len(out.Paths)
+	stats.record(time.Since(t0))
 	return out, stats
 }
 

@@ -2,12 +2,36 @@
 // share: fan a contiguous index range out over a fixed number of
 // goroutines with deterministic shard boundaries, so per-shard results
 // can be merged in a fixed order regardless of scheduling.
+//
+// Every task execution is instrumented into the default obs registry:
+// asrank_pool_tasks_total (by scheduling mode), asrank_pool_steals_total
+// (chunks a worker claimed beyond its first), asrank_pool_queue_depth
+// (unclaimed chunks across running Chunks calls, approximate when calls
+// overlap), and asrank_pool_task_duration_seconds, whose _sum is total
+// worker-busy time.
 package pool
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/obs"
+)
+
+var (
+	poolTasks = obs.Default().CounterVec("asrank_pool_tasks_total",
+		"Tasks executed by the worker pool, by scheduling mode.", "mode")
+	poolRangeTasks = poolTasks.With("range")
+	poolChunkTasks = poolTasks.With("chunks")
+	poolSteals     = obs.Default().Counter("asrank_pool_steals_total",
+		"Chunks a worker claimed beyond its first — work moved between workers by the stealing scheduler.")
+	poolQueueDepth = obs.Default().Gauge("asrank_pool_queue_depth",
+		"Chunks not yet claimed across currently running Chunks calls.")
+	poolBusy = obs.Default().Histogram("asrank_pool_task_duration_seconds",
+		"Wall time spent inside one pool task (shard or chunk); the _sum is total worker-busy seconds.",
+		obs.DurationBuckets)
 )
 
 // Resolve normalizes a Workers option: values <= 0 select
@@ -28,9 +52,15 @@ func Range(workers, n int, fn func(shard, lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
+	run := func(shard, lo, hi int) {
+		t0 := time.Now()
+		fn(shard, lo, hi)
+		poolBusy.ObserveSince(t0)
+		poolRangeTasks.Inc()
+	}
 	if workers <= 1 {
 		if n > 0 {
-			fn(0, 0, n)
+			run(0, 0, n)
 		}
 		return
 	}
@@ -43,7 +73,7 @@ func Range(workers, n int, fn func(shard, lo, hi int)) {
 		wg.Add(1)
 		go func(shard, lo, hi int) {
 			defer wg.Done()
-			fn(shard, lo, hi)
+			run(shard, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -64,26 +94,41 @@ func Chunks(workers, n, chunk int, fn func(lo, hi int)) {
 	}
 	if workers <= 1 {
 		if n > 0 {
+			poolQueueDepth.Inc()
+			poolQueueDepth.Dec()
+			t0 := time.Now()
 			fn(0, n)
+			poolBusy.ObserveSince(t0)
+			poolChunkTasks.Inc()
 		}
 		return
 	}
+	poolQueueDepth.Add(float64(nchunks))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			executed := 0
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= nchunks {
-					return
+					break
 				}
+				poolQueueDepth.Dec()
 				lo, hi := c*chunk, (c+1)*chunk
 				if hi > n {
 					hi = n
 				}
+				t0 := time.Now()
 				fn(lo, hi)
+				poolBusy.ObserveSince(t0)
+				executed++
+			}
+			poolChunkTasks.Add(uint64(executed))
+			if executed > 1 {
+				poolSteals.Add(uint64(executed - 1))
 			}
 		}()
 	}
