@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench metrics-lint
+.PHONY: build test check bench metrics-lint fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,15 @@ bench:
 metrics-lint:
 	$(GO) test -count=1 -run 'TestExposition|TestLint' ./internal/obs
 	$(GO) test -count=1 -run TestMetricsEndToEnd ./internal/apiserver
+
+# Short native-fuzzing pass over every decoder target, seeded with the
+# shared chaos-corrupted corpus. Each target gets FUZZTIME; `go test`
+# allows only one -fuzz pattern per invocation, hence one line each.
+FUZZTIME ?= 5s
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseAttributes$$' -fuzztime $(FUZZTIME) ./internal/bgp
+	$(GO) test -run '^$$' -fuzz '^FuzzParseUpdate$$' -fuzztime $(FUZZTIME) ./internal/bgp
+	$(GO) test -run '^$$' -fuzz '^FuzzParseOpenBody$$' -fuzztime $(FUZZTIME) ./internal/bgp
+	$(GO) test -run '^$$' -fuzz '^FuzzReadMessage$$' -fuzztime $(FUZZTIME) ./internal/bgp
+	$(GO) test -run '^$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./internal/mrt

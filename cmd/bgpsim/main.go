@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/chaos"
 	collectorpkg "github.com/asrank-go/asrank/internal/collector"
+	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/topology"
 )
@@ -35,6 +37,12 @@ func main() {
 		format    = flag.String("format", "text", "output format: text or mrt")
 		out       = flag.String("o", "-", "output file ('-' = stdout)")
 		replay    = flag.String("replay", "", "instead of writing a file, announce over BGP to this collector address")
+
+		retries     = flag.Int("retries", 0, "replay retries per VP session (0 = default)")
+		workers     = flag.Int("workers", 0, "concurrent replay sessions (0 = GOMAXPROCS)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults into replay dials (0 = off)")
+		chaosFaults = flag.Int("chaos-faults", 16, "fault budget when -chaos-seed is set (0 = unlimited)")
+		stats       = flag.Bool("stats", false, "print the metrics report to stderr after replay")
 	)
 	flag.Parse()
 	if *topoFile == "" {
@@ -69,10 +77,32 @@ func main() {
 		res.Dataset.NumPaths(), len(res.VPs), len(res.PartialVPs))
 
 	if *replay != "" {
-		if err := collectorpkg.ReplayAll(*replay, res, collectorpkg.ReplayOptions{}); err != nil {
+		ropts := collectorpkg.ReplayOptions{MaxRetries: *retries, Workers: *workers}
+		if *chaosSeed != 0 {
+			inj := chaos.New(chaos.Options{
+				Seed:           *chaosSeed,
+				ResetProb:      0.05,
+				ShortWriteProb: 0.05,
+				CorruptProb:    0.05,
+				DelayProb:      0.10,
+				ChunkProb:      0.20,
+				FaultBudget:    *chaosFaults,
+			})
+			ropts.Dial = inj.Dialer(nil)
+			defer func() {
+				fmt.Fprintf(os.Stderr, "chaos: %d faults injected (seed %d)\n",
+					inj.FaultsInjected(), *chaosSeed)
+			}()
+		}
+		if err := collectorpkg.ReplayAll(*replay, res, ropts); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "replayed %d VP sessions into %s\n", len(res.VPs), *replay)
+		if *stats {
+			if err := obs.Default().WriteReport(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}
 		return
 	}
 

@@ -22,17 +22,25 @@ import (
 	"syscall"
 
 	"github.com/asrank-go/asrank/internal/collector"
+	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:1790", "listen address")
-		localAS = flag.Uint("as", 64497, "collector AS number")
-		archive = flag.String("archive", "", "BGP4MP MRT archive file")
-		out     = flag.String("paths", "-", "path corpus written on shutdown ('-' = stdout)")
+		listen    = flag.String("listen", "127.0.0.1:1790", "listen address")
+		localAS   = flag.Uint("as", 64497, "collector AS number")
+		archive   = flag.String("archive", "", "BGP4MP MRT archive file")
+		out       = flag.String("paths", "-", "path corpus written on shutdown ('-' = stdout)")
+		malformed = flag.String("malformed", "teardown", "malformed-UPDATE policy: teardown or skip")
+		hold      = flag.Uint("hold", 0, "advertised hold time in seconds (0 = default)")
+		stats     = flag.Bool("stats", false, "print the metrics report to stderr on shutdown")
 	)
 	flag.Parse()
+	policy, err := collector.ParseMalformedPolicy(*malformed)
+	if err != nil {
+		log.Fatalf("collector: %v", err)
+	}
 
 	var arch io.Writer
 	if *archive != "" {
@@ -44,9 +52,11 @@ func main() {
 		arch = f
 	}
 	srv, err := collector.Listen(*listen, collector.Options{
-		LocalAS: uint32(*localAS),
-		Archive: arch,
-		Logf:    log.Printf,
+		LocalAS:   uint32(*localAS),
+		HoldTime:  uint16(*hold),
+		Archive:   arch,
+		Malformed: policy,
+		Logf:      log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("collector: %v", err)
@@ -62,6 +72,11 @@ func main() {
 	}
 	sessions, updates := srv.Stats()
 	log.Printf("collector: %d sessions, %d updates", sessions, updates)
+	if *stats {
+		if err := obs.Default().WriteReport(os.Stderr); err != nil {
+			log.Printf("collector: metrics report: %v", err)
+		}
+	}
 
 	w := os.Stdout
 	if *out != "-" {

@@ -1,6 +1,7 @@
 package asrank
 
 import (
+	"github.com/asrank-go/asrank/internal/chaos"
 	"github.com/asrank-go/asrank/internal/collector"
 )
 
@@ -14,7 +15,27 @@ type (
 	CollectorServer = collector.Server
 	// ReplayOptions configures a replay session.
 	ReplayOptions = collector.ReplayOptions
+	// MalformedPolicy selects how the collector treats UPDATEs that
+	// fail to parse: tear the session down (default) or skip-and-count.
+	MalformedPolicy = collector.MalformedPolicy
+
+	// ChaosOptions configures deterministic fault injection.
+	ChaosOptions = chaos.Options
+	// ChaosInjector wraps connections, listeners, dialers, and proxies
+	// with seed-driven faults for robustness testing.
+	ChaosInjector = chaos.Injector
 )
+
+// Malformed-UPDATE policies for CollectorOptions.Malformed.
+const (
+	MalformedTeardown = collector.MalformedTeardown
+	MalformedSkip     = collector.MalformedSkip
+)
+
+// NewChaos builds a fault injector from the given options. Wire its
+// Dialer into ReplayOptions.Dial, or stand up a Proxy in front of a
+// collector, to exercise the retry/resume machinery deterministically.
+func NewChaos(opts ChaosOptions) *ChaosInjector { return chaos.New(opts) }
 
 // ListenCollector starts a BGP collector on addr (e.g. "127.0.0.1:0").
 // Close the returned server to stop it; Corpus() yields what it heard.

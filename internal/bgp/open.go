@@ -166,7 +166,38 @@ func EncodeNotification(code, subcode uint8) []byte {
 	return append(msg, code, subcode)
 }
 
+// EncodeNotificationData renders a NOTIFICATION carrying diagnostic
+// data (RFC 4271 §4.5 Data field). The collector and replay speaker use
+// a Cease with a 4-byte count as a teardown acknowledgment: the data is
+// how a speaker learns exactly how many of its updates the collector
+// consumed.
+func EncodeNotificationData(code, subcode uint8, data []byte) ([]byte, error) {
+	msg, err := AppendHeader(nil, MsgNotification, 2+len(data))
+	if err != nil {
+		return nil, err
+	}
+	msg = append(msg, code, subcode)
+	return append(msg, data...), nil
+}
+
+// ParseNotificationBody splits a NOTIFICATION body (without the message
+// header) into code, subcode, and data.
+func ParseNotificationBody(body []byte) (code, subcode uint8, data []byte, err error) {
+	if len(body) < 2 {
+		return 0, 0, nil, errShort
+	}
+	return body[0], body[1], body[2:], nil
+}
+
 // NOTIFICATION codes used by the collector.
 const (
 	NotifCease = 6
 )
+
+// CapResumeOffset is a private-use capability code (RFC 8810
+// experimental range) the collector attaches to its OPEN: a 4-byte
+// count of the UPDATE messages it has already consumed from the peer's
+// ASN across previous sessions. A replaying speaker resumes announcing
+// at that offset, so a session killed mid-table is retried with no
+// duplicate and no lost prefixes.
+const CapResumeOffset = 240

@@ -6,10 +6,20 @@
 // records. The Replay client (replay.go) plays a simulated collection
 // into it, closing the loop: simulator → BGP over TCP → collector →
 // MRT → inference.
+//
+// The server is hardened against the faults internal/chaos injects:
+// transient Accept errors are retried with capped backoff, malformed
+// UPDATEs follow a configurable policy (tear the session down per RFC
+// 4271, or skip-and-count in the treat-as-withdraw spirit of RFC 7606),
+// and every session advertises a resume offset (bgp.CapResumeOffset)
+// plus a counted teardown ack so a replaying speaker can retry a killed
+// session without duplicating or losing a single prefix. Every
+// degradation is counted through internal/obs.
 package collector
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -20,8 +30,47 @@ import (
 
 	"github.com/asrank-go/asrank/internal/bgp"
 	"github.com/asrank-go/asrank/internal/mrt"
+	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 )
+
+// MalformedPolicy selects what a session does with an UPDATE that
+// fails to parse.
+type MalformedPolicy int
+
+const (
+	// MalformedTeardown resets the session (RFC 4271's classic
+	// behavior). The update is not counted as consumed, so a resuming
+	// speaker re-sends it — the policy for byte-exact recovery.
+	MalformedTeardown MalformedPolicy = iota
+	// MalformedSkip drops the unparseable UPDATE, counts it, and keeps
+	// the session up — the RFC 7606 treat-as-withdraw spirit: one
+	// update's routes are lost (auditable in the run report) instead of
+	// a whole vantage point's table. Skipped updates count as consumed
+	// for resume purposes; their loss is deliberate, not retried.
+	MalformedSkip
+)
+
+func (p MalformedPolicy) String() string {
+	switch p {
+	case MalformedTeardown:
+		return "teardown"
+	case MalformedSkip:
+		return "skip"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParseMalformedPolicy parses the CLI rendering of a policy.
+func ParseMalformedPolicy(s string) (MalformedPolicy, error) {
+	switch s {
+	case "teardown":
+		return MalformedTeardown, nil
+	case "skip":
+		return MalformedSkip, nil
+	}
+	return 0, fmt.Errorf("collector: unknown malformed-update policy %q (want teardown or skip)", s)
+}
 
 // Options configures a collector.
 type Options struct {
@@ -36,6 +85,11 @@ type Options struct {
 	Archive io.Writer
 	// Collector names the corpus entries (default "collector").
 	Collector string
+	// Malformed selects the malformed-UPDATE policy (default
+	// MalformedTeardown).
+	Malformed MalformedPolicy
+	// Registry receives the degradation counters (default obs.Default()).
+	Registry *obs.Registry
 	// Logf, when non-nil, receives session lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -53,6 +107,9 @@ func (o Options) withDefaults() Options {
 	if o.Collector == "" {
 		o.Collector = "collector"
 	}
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -63,12 +120,14 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts Options
 	ln   net.Listener
+	m    serverMetrics
 
 	mu       sync.Mutex
 	ds       *paths.Dataset
 	mw       *mrt.Writer
 	sessions int
 	updates  int
+	consumed map[uint32]uint32 // per-peer-ASN UPDATEs consumed (the resume offset)
 
 	wg      sync.WaitGroup
 	closing chan struct{}
@@ -76,23 +135,32 @@ type Server struct {
 
 // Listen starts a collector on addr (e.g. "127.0.0.1:0").
 func Listen(addr string, opts Options) (*Server, error) {
-	opts = opts.withDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
 	}
+	return Serve(ln, opts), nil
+}
+
+// Serve starts a collector on an existing listener — the seam the
+// fault-injection tests use to wrap Accept, and chaos.Listener's way
+// into the server side of a session.
+func Serve(ln net.Listener, opts Options) *Server {
+	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		ln:      ln,
-		ds:      &paths.Dataset{},
-		closing: make(chan struct{}),
+		opts:     opts,
+		ln:       ln,
+		m:        newServerMetrics(opts.Registry),
+		ds:       &paths.Dataset{},
+		consumed: make(map[uint32]uint32),
+		closing:  make(chan struct{}),
 	}
 	if opts.Archive != nil {
 		s.mw = mrt.NewWriter(opts.Archive)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.
@@ -121,8 +189,23 @@ func (s *Server) Stats() (sessions, updates int) {
 	return s.sessions, s.updates
 }
 
+// ResumeOffset returns how many UPDATE messages the server has consumed
+// from the given peer ASN — the offset it advertises in its OPEN.
+func (s *Server) ResumeOffset(asn uint32) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.consumed[asn]
+}
+
+// acceptBackoff bounds the retry backoff for transient Accept errors.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := acceptBackoffMin
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -131,14 +214,43 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			s.opts.Logf("collector: accept: %v", err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				// The listener itself is gone; nothing to retry on.
+				return
+			}
+			// Transient failure (EMFILE, ECONNABORTED, a flaky wrapped
+			// listener): back off and keep serving instead of silently
+			// killing the whole collector.
+			s.m.acceptRetries.Inc()
+			s.opts.Logf("collector: accept: %v (retrying in %v)", err, backoff)
+			select {
+			case <-s.closing:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffMin
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			if err := s.serve(conn); err != nil && !errors.Is(err, io.EOF) {
-				s.opts.Logf("collector: session %v: %v", conn.RemoteAddr(), err)
+			err := s.serve(conn)
+			var nerr net.Error
+			switch {
+			case err == nil:
+				s.m.sessions.With("ok").Inc()
+			case errors.As(err, &nerr) && nerr.Timeout():
+				s.m.sessions.With("holdtime_expired").Inc()
+				s.opts.Logf("collector: session %v: hold timer expired: %v", conn.RemoteAddr(), err)
+			default:
+				s.m.sessions.With("error").Inc()
+				if !errors.Is(err, io.EOF) {
+					s.opts.Logf("collector: session %v: %v", conn.RemoteAddr(), err)
+				}
 			}
 		}()
 	}
@@ -162,7 +274,9 @@ func (s *Server) serve(conn net.Conn) error {
 		return typ, body, raw, err
 	}
 
-	// Session establishment: OPEN in, OPEN + KEEPALIVE out.
+	// Session establishment: OPEN in, OPEN + KEEPALIVE out. Our OPEN
+	// carries the resume offset for the peer's ASN, so a speaker
+	// retrying a killed session knows exactly where to pick up.
 	typ, body, _, err := readMsg()
 	if err != nil {
 		return fmt.Errorf("reading OPEN: %w", err)
@@ -174,10 +288,13 @@ func (s *Server) serve(conn net.Conn) error {
 	if err != nil {
 		return fmt.Errorf("parsing OPEN: %w", err)
 	}
+	var resume [4]byte
+	binary.BigEndian.PutUint32(resume[:], s.ResumeOffset(peer.ASN))
 	ourOpen, err := bgp.EncodeOpen(&bgp.Open{
 		ASN:      s.opts.LocalAS,
 		HoldTime: s.opts.HoldTime,
 		BGPID:    s.opts.BGPID,
+		RawCaps:  []bgp.RawCapability{{Code: bgp.CapResumeOffset, Value: resume[:]}},
 	})
 	if err != nil {
 		return err
@@ -189,7 +306,8 @@ func (s *Server) serve(conn net.Conn) error {
 		return err
 	}
 	as4 := peer.FourByteAS // we always offer it; effective iff both do
-	s.opts.Logf("collector: session up with AS%d (%v, as4=%v)", peer.ASN, conn.RemoteAddr(), as4)
+	s.opts.Logf("collector: session up with AS%d (%v, as4=%v, resume=%d)",
+		peer.ASN, conn.RemoteAddr(), as4, binary.BigEndian.Uint32(resume[:]))
 
 	defer func() {
 		s.mu.Lock()
@@ -212,11 +330,32 @@ func (s *Server) serve(conn net.Conn) error {
 		case bgp.MsgUpdate:
 			upd, err := bgp.ParseUpdateBody(body, as4)
 			if err != nil {
+				if s.opts.Malformed == MalformedSkip {
+					// Treat-as-withdraw spirit: drop this update's
+					// routes, count the loss, keep the session — and
+					// count it as consumed so a resuming speaker does
+					// not re-send what we deliberately dropped.
+					s.m.updates.With("malformed_skipped").Inc()
+					s.mu.Lock()
+					s.consumed[peer.ASN]++
+					s.mu.Unlock()
+					s.opts.Logf("collector: session AS%d: skipped malformed UPDATE: %v", peer.ASN, err)
+					continue
+				}
+				s.m.updates.With("malformed_teardown").Inc()
 				return fmt.Errorf("parsing UPDATE from AS%d: %w", peer.ASN, err)
 			}
 			s.record(conn, peer, upd, raw, as4)
 		case bgp.MsgNotification:
-			return nil // orderly teardown
+			// Orderly teardown. Acknowledge with the consumed count so
+			// the speaker can verify nothing it sent was lost in
+			// flight (and retry from the exact offset if it was).
+			var ack [4]byte
+			binary.BigEndian.PutUint32(ack[:], s.ResumeOffset(peer.ASN))
+			if msg, err := bgp.EncodeNotificationData(bgp.NotifCease, 0, ack[:]); err == nil {
+				conn.Write(msg) //nolint:errcheck // best-effort; the speaker retries on a lost ack
+			}
+			return nil
 		default:
 			return fmt.Errorf("unexpected message type %d from AS%d", typ, peer.ASN)
 		}
@@ -225,10 +364,12 @@ func (s *Server) serve(conn net.Conn) error {
 
 // record stores an UPDATE's announcements and archives the raw message.
 func (s *Server) record(conn net.Conn, peer *bgp.Open, upd *bgp.Update, raw []byte, as4 bool) {
+	s.m.updates.With("recorded").Inc()
 	asPath := upd.Attrs.Path().Flatten()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.updates++
+	s.consumed[peer.ASN]++
 	if len(upd.NLRI) > 0 && len(asPath) > 0 && !upd.Attrs.Path().HasSet() {
 		asns := asPath
 		if asns[0] != peer.ASN {

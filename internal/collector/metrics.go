@@ -1,0 +1,41 @@
+package collector
+
+import "github.com/asrank-go/asrank/internal/obs"
+
+// serverMetrics are the collector-side degradation counters. Every way
+// a session can degrade is counted, so a chaos run's report shows
+// exactly what the server absorbed.
+type serverMetrics struct {
+	acceptRetries *obs.Counter
+	sessions      *obs.CounterVec // result: ok | error | holdtime_expired
+	updates       *obs.CounterVec // result: recorded | malformed_skipped | malformed_teardown
+}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	return serverMetrics{
+		acceptRetries: r.Counter("asrank_collector_accept_retries_total",
+			"Transient Accept errors the collector retried with backoff instead of exiting."),
+		sessions: r.CounterVec("asrank_collector_sessions_total",
+			"BGP sessions completed, by outcome.", "result"),
+		updates: r.CounterVec("asrank_collector_updates_total",
+			"UPDATE messages consumed, by disposition (malformed ones follow the configured policy).", "result"),
+	}
+}
+
+// replayMetrics are the speaker-side retry counters.
+type replayMetrics struct {
+	attempts *obs.CounterVec // result: ok | error
+	retries  *obs.Counter
+	resumed  *obs.Counter
+}
+
+func newReplayMetrics(r *obs.Registry) replayMetrics {
+	return replayMetrics{
+		attempts: r.CounterVec("asrank_replay_attempts_total",
+			"Replay session attempts, by outcome.", "result"),
+		retries: r.Counter("asrank_replay_retries_total",
+			"Replay sessions redialed after a failure (exponential backoff with jitter)."),
+		resumed: r.Counter("asrank_replay_updates_resumed_total",
+			"UPDATE messages skipped on retry because the collector's resume offset already covered them."),
+	}
+}

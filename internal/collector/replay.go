@@ -2,7 +2,10 @@ package collector
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/netip"
 	"sort"
@@ -10,6 +13,8 @@ import (
 
 	"github.com/asrank-go/asrank/internal/bgp"
 	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/obs"
+	"github.com/asrank-go/asrank/internal/pool"
 )
 
 // ReplayOptions configures one replay session.
@@ -18,65 +23,111 @@ type ReplayOptions struct {
 	HoldTime uint16
 	// BGPID of the speaker (default derived from the VP ASN).
 	BGPID netip.Addr
-	// Timeout bounds the whole session (default 30s).
+	// Timeout bounds each session attempt (default 30s).
 	Timeout time.Duration
+
+	// MaxRetries is how many times a failed session is redialed before
+	// giving up (default 3; negative disables retries). Retries resume
+	// at the collector's advertised offset, so a session killed
+	// mid-table is completed with no duplicate and no lost prefixes.
+	MaxRetries int
+	// RetryBase is the first backoff (default 50ms); each retry doubles
+	// it up to RetryMax (default 2s), jittered in [0.5, 1.5).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// Workers bounds ReplayAll's concurrent sessions (<= 0 selects
+	// GOMAXPROCS, as everywhere internal/pool is used).
+	Workers int
+
+	// Dial opens the transport (default net.DialTimeout over TCP) — the
+	// seam chaos.Injector.Dialer plugs into.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Registry receives the replay retry counters (default obs.Default()).
+	Registry *obs.Registry
+}
+
+func (o ReplayOptions) withDefaults(vp uint32) ReplayOptions {
+	if o.HoldTime == 0 {
+		o.HoldTime = 90
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if !o.BGPID.IsValid() {
+		o.BGPID = netip.AddrFrom4([4]byte{10, byte(vp >> 16), byte(vp >> 8), byte(vp)})
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
+	return o
 }
 
 // Replay dials a collector and announces every path the given vantage
 // point holds in the simulated collection, then tears the session down
-// with a CEASE notification. It is the client half of the collector:
-// simulator → BGP over TCP → collector.
+// with a CEASE notification and waits for the collector's counted ack.
+// Failed sessions are retried with exponential backoff and jitter,
+// resuming at the collector's advertised offset (bgp.CapResumeOffset)
+// so no prefix is duplicated or lost across retries. It is the client
+// half of the collector: simulator → BGP over TCP → collector.
 func Replay(addr string, res *bgpsim.Result, vp uint32, opts ReplayOptions) error {
-	if opts.HoldTime == 0 {
-		opts.HoldTime = 90
-	}
-	if opts.Timeout == 0 {
-		opts.Timeout = 30 * time.Second
-	}
-	if !opts.BGPID.IsValid() {
-		opts.BGPID = netip.AddrFrom4([4]byte{10, byte(vp >> 16), byte(vp >> 8), byte(vp)})
+	opts = opts.withDefaults(vp)
+	m := newReplayMetrics(opts.Registry)
+	msgs, err := buildAnnouncements(res, vp, opts)
+	if err != nil {
+		return fmt.Errorf("replay: AS%d: %w", vp, err)
 	}
 
-	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
-	if err != nil {
-		return fmt.Errorf("replay: %w", err)
+	// Jitter is deterministic per VP so chaos runs stay reproducible.
+	rng := rand.New(rand.NewSource(int64(vp)*0x9e3779b9 + 1))
+	backoff := opts.RetryBase
+	var lastErr error
+	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			m.retries.Inc()
+			sleep := time.Duration(float64(backoff) * (0.5 + rng.Float64()))
+			time.Sleep(sleep)
+			backoff *= 2
+			if backoff > opts.RetryMax {
+				backoff = opts.RetryMax
+			}
+		}
+		err := replayOnce(addr, vp, msgs, opts, m)
+		if err == nil {
+			m.attempts.With("ok").Inc()
+			return nil
+		}
+		m.attempts.With("error").Inc()
+		lastErr = err
 	}
-	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(opts.Timeout)); err != nil {
-		return err
-	}
-	br := bufio.NewReader(conn)
+	return fmt.Errorf("replay: AS%d: giving up after %d attempts: %w", vp, opts.MaxRetries+1, lastErr)
+}
 
-	open, err := bgp.EncodeOpen(&bgp.Open{ASN: vp, HoldTime: opts.HoldTime, BGPID: opts.BGPID})
-	if err != nil {
-		return err
-	}
-	if _, err := conn.Write(open); err != nil {
-		return err
-	}
-	// Expect the collector's OPEN, then exchange keepalives.
-	msg, err := bgp.ReadMessage(br)
-	if err != nil {
-		return fmt.Errorf("replay: reading OPEN: %w", err)
-	}
-	if _, err := bgp.ParseOpen(msg); err != nil {
-		return fmt.Errorf("replay: %w", err)
-	}
-	if _, err := conn.Write(bgp.EncodeKeepalive()); err != nil {
-		return err
-	}
-	if msg, err = bgp.ReadMessage(br); err != nil {
-		return fmt.Errorf("replay: reading KEEPALIVE: %w", err)
-	}
-	if typ, _, err := bgp.ParseHeader(msg); err != nil || typ != bgp.MsgKeepalive {
-		return fmt.Errorf("replay: expected KEEPALIVE, got type %d (err %v)", typ, err)
-	}
-
-	// Announce, packing prefixes that share a path into one UPDATE.
+// buildAnnouncements encodes the VP's full announcement sequence once,
+// in a deterministic order (prefixes sharing a path are packed into one
+// UPDATE, groups sorted by path, NLRI chunked), so every retry re-sends
+// byte-identical messages and the collector's consumed count indexes
+// into the same sequence.
+func buildAnnouncements(res *bgpsim.Result, vp uint32, opts ReplayOptions) ([][]byte, error) {
 	type group struct {
-		key  string
-		path []uint32
-		upd  *bgp.Update
+		key string
+		upd *bgp.Update
 	}
 	groups := map[string]*group{}
 	for _, p := range res.Dataset.Paths {
@@ -87,8 +138,7 @@ func Replay(addr string, res *bgpsim.Result, vp uint32, opts ReplayOptions) erro
 		g, ok := groups[key]
 		if !ok {
 			g = &group{
-				key:  key,
-				path: p.ASNs,
+				key: key,
 				upd: &bgp.Update{Attrs: bgp.PathAttributes{
 					Origin:      bgp.OriginIGP,
 					ASPath:      bgp.Sequence(p.ASNs...),
@@ -105,6 +155,8 @@ func Replay(addr string, res *bgpsim.Result, vp uint32, opts ReplayOptions) erro
 		ordered = append(ordered, g)
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+
+	var msgs [][]byte
 	for _, g := range ordered {
 		nlri := g.upd.NLRI
 		for len(nlri) > 0 {
@@ -117,35 +169,135 @@ func Replay(addr string, res *bgpsim.Result, vp uint32, opts ReplayOptions) erro
 			one.NLRI = chunk
 			msg, err := bgp.EncodeUpdate(&one, true)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if _, err := conn.Write(msg); err != nil {
-				return err
-			}
+			msgs = append(msgs, msg)
+		}
+	}
+	return msgs, nil
+}
+
+// replayOnce runs a single session attempt: handshake, resume at the
+// collector's offset, announce the rest, and verify the counted
+// teardown ack.
+func replayOnce(addr string, vp uint32, msgs [][]byte, opts ReplayOptions, m replayMetrics) error {
+	conn, err := opts.Dial(addr, opts.Timeout)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(opts.Timeout)); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+
+	open, err := bgp.EncodeOpen(&bgp.Open{ASN: vp, HoldTime: opts.HoldTime, BGPID: opts.BGPID})
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(open); err != nil {
+		return err
+	}
+	// Expect the collector's OPEN — carrying the resume offset — then
+	// exchange keepalives.
+	msg, err := bgp.ReadMessage(br)
+	if err != nil {
+		return fmt.Errorf("replay: reading OPEN: %w", err)
+	}
+	peerOpen, err := bgp.ParseOpen(msg)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	resume := resumeOffset(peerOpen)
+	if resume > len(msgs) {
+		return fmt.Errorf("replay: collector claims %d updates consumed, we only have %d", resume, len(msgs))
+	}
+	if _, err := conn.Write(bgp.EncodeKeepalive()); err != nil {
+		return err
+	}
+	if msg, err = bgp.ReadMessage(br); err != nil {
+		return fmt.Errorf("replay: reading KEEPALIVE: %w", err)
+	}
+	if typ, _, err := bgp.ParseHeader(msg); err != nil || typ != bgp.MsgKeepalive {
+		return fmt.Errorf("replay: expected KEEPALIVE, got type %d (err %v)", typ, err)
+	}
+
+	// Announce everything the collector has not already consumed.
+	m.resumed.Add(uint64(resume))
+	for _, u := range msgs[resume:] {
+		if _, err := conn.Write(u); err != nil {
+			return err
 		}
 	}
 
-	// Orderly teardown.
-	if _, err := conn.Write(bgp.EncodeNotification(bgp.NotifCease, 0)); err != nil {
+	// Orderly teardown: CEASE carrying the count we believe the
+	// collector now holds, then its counted ack back. A session only
+	// succeeds when the collector confirms it consumed everything —
+	// anything less (a proxy ate buffered messages, a fault killed the
+	// tail) triggers a retry that resumes at the true offset.
+	var expect [4]byte
+	binary.BigEndian.PutUint32(expect[:], uint32(len(msgs)))
+	cease, err := bgp.EncodeNotificationData(bgp.NotifCease, 0, expect[:])
+	if err != nil {
 		return err
+	}
+	if _, err := conn.Write(cease); err != nil {
+		return err
+	}
+	ack, err := bgp.ReadMessage(br)
+	if err != nil {
+		return fmt.Errorf("replay: reading teardown ack: %w", err)
+	}
+	typ, body, err := bgp.ParseHeader(ack)
+	if err != nil {
+		return fmt.Errorf("replay: teardown ack: %w", err)
+	}
+	if typ != bgp.MsgNotification {
+		return fmt.Errorf("replay: teardown ack: unexpected message type %d", typ)
+	}
+	_, _, data, err := bgp.ParseNotificationBody(body)
+	if err != nil {
+		return fmt.Errorf("replay: teardown ack: %w", err)
+	}
+	if len(data) < 4 {
+		return fmt.Errorf("replay: teardown ack carries no count")
+	}
+	if got := binary.BigEndian.Uint32(data); got != uint32(len(msgs)) {
+		return fmt.Errorf("replay: collector consumed %d of %d updates", got, len(msgs))
 	}
 	return nil
 }
 
-// ReplayAll replays every VP of a simulated collection concurrently and
-// returns the first error.
-func ReplayAll(addr string, res *bgpsim.Result, opts ReplayOptions) error {
-	errs := make(chan error, len(res.VPs))
-	for _, vp := range res.VPs {
-		go func(vp uint32) {
-			errs <- Replay(addr, res, vp, opts)
-		}(vp)
-	}
-	var first error
-	for range res.VPs {
-		if err := <-errs; err != nil && first == nil {
-			first = err
+// resumeOffset extracts the collector's consumed-update count from its
+// OPEN capabilities; absent the capability, replay starts from zero.
+func resumeOffset(open *bgp.Open) int {
+	for _, c := range open.RawCaps {
+		if c.Code == bgp.CapResumeOffset && len(c.Value) >= 4 {
+			return int(binary.BigEndian.Uint32(c.Value))
 		}
 	}
-	return first
+	return 0
+}
+
+// ReplayAll replays every VP of a simulated collection with bounded
+// concurrency (opts.Workers sessions at a time via internal/pool) and
+// returns the joined errors of every VP that failed — not just the
+// first — so a chaos run's report names each vantage point that never
+// settled.
+func ReplayAll(addr string, res *bgpsim.Result, opts ReplayOptions) error {
+	n := len(res.VPs)
+	if n == 0 {
+		return nil
+	}
+	workers := pool.Resolve(opts.Workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	pool.Chunks(workers, n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = Replay(addr, res, res.VPs[i], opts)
+		}
+	})
+	return errors.Join(errs...)
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"github.com/asrank-go/asrank/internal/chaos"
 )
 
 // FuzzReader feeds arbitrary bytes to the MRT reader: it must never
@@ -22,6 +24,12 @@ func FuzzReader(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Shared chaos corpus: the same deterministic breakage shapes the
+	// bgp fuzz targets seed from (same generator, same seed), applied
+	// to a real record stream.
+	for _, v := range chaos.CorruptVariants(20130401, seed.Bytes(), 8) {
+		f.Add(v)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
