@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench metrics-lint fuzz-smoke
+.PHONY: build test check lint bench metrics-lint fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,16 @@ test:
 	$(GO) test ./...
 
 # The race-enabled gate the parallel cone engine is held to.
-check:
+check: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# The repo's own analyzer suite (DESIGN.md §9): concurrency,
+# determinism, observability-naming, and error-wrapping invariants.
+# Exit 1 means findings; suppress individual lines with
+# `//lint:ignore <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/asrank-lint ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -1,0 +1,28 @@
+// Command asrank-lint is the repo's invariant multichecker: five
+// custom analyzers enforcing the bounded-concurrency, determinism,
+// observability-naming, error-wrapping, and typed-atomics rules the
+// inference pipeline depends on (see DESIGN.md §9).
+//
+//	asrank-lint ./...          # lint the whole repository
+//	asrank-lint -list          # describe the analyzers
+//	asrank-lint -only errwrap ./internal/collector
+//
+// Suppress one finding with a reasoned directive on (or directly
+// above) the offending line:
+//
+//	//lint:ignore noderivedgo accept loop lives for the server's lifetime
+//
+// Unused or reasonless directives are themselves findings.
+//
+// Exit codes: 0 no findings; 1 findings; 2 the run itself failed.
+package main
+
+import (
+	"os"
+
+	"github.com/asrank-go/asrank/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

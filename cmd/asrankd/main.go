@@ -99,6 +99,7 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		debug = &http.Server{Addr: *debugListen, Handler: dmux}
+		//lint:ignore noderivedgo debug listener lives for the process lifetime, not a bounded fan-out
 		go func() {
 			log.Printf("asrankd: debug surface on http://%s/metrics", *debugListen)
 			if err := debug.ListenAndServe(); err != http.ErrServerClosed {
@@ -111,6 +112,7 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//lint:ignore noderivedgo API listener runs until signal-driven drain, not a bounded fan-out
 	go func() {
 		log.Printf("asrankd: serving on http://%s/api/v1/", *listen)
 		errc <- api.ListenAndServe()

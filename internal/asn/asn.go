@@ -103,17 +103,17 @@ func Parse(s string) (uint32, error) {
 	if hi, lo, ok := strings.Cut(s, "."); ok {
 		h, err := strconv.ParseUint(hi, 10, 16)
 		if err != nil {
-			return 0, fmt.Errorf("asn: bad asdot high part in %q: %v", orig, err)
+			return 0, fmt.Errorf("asn: bad asdot high part in %q: %w", orig, err)
 		}
 		l, err := strconv.ParseUint(lo, 10, 16)
 		if err != nil {
-			return 0, fmt.Errorf("asn: bad asdot low part in %q: %v", orig, err)
+			return 0, fmt.Errorf("asn: bad asdot low part in %q: %w", orig, err)
 		}
 		return uint32(h)<<16 | uint32(l), nil
 	}
 	v, err := strconv.ParseUint(s, 10, 32)
 	if err != nil {
-		return 0, fmt.Errorf("asn: bad AS number %q: %v", orig, err)
+		return 0, fmt.Errorf("asn: bad AS number %q: %w", orig, err)
 	}
 	return uint32(v), nil
 }

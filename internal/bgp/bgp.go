@@ -82,11 +82,11 @@ func ParseCommunity(s string) (Community, error) {
 	}
 	asn, err := strconv.ParseUint(a, 10, 16)
 	if err != nil {
-		return 0, fmt.Errorf("bgp: community %q: %v", s, err)
+		return 0, fmt.Errorf("bgp: community %q: %w", s, err)
 	}
 	val, err := strconv.ParseUint(v, 10, 16)
 	if err != nil {
-		return 0, fmt.Errorf("bgp: community %q: %v", s, err)
+		return 0, fmt.Errorf("bgp: community %q: %w", s, err)
 	}
 	return NewCommunity(uint16(asn), uint16(val)), nil
 }
@@ -125,9 +125,9 @@ func ParseHeader(msg []byte) (msgType uint8, body []byte, err error) {
 	if len(msg) < HeaderLen {
 		return 0, nil, errShort
 	}
-	for _, b := range msg[:16] {
+	for i, b := range msg[:16] {
 		if b != 0xff {
-			return 0, nil, errors.New("bgp: bad header marker")
+			return 0, nil, fmt.Errorf("bgp: bad header marker byte %#02x at offset %d", b, i)
 		}
 	}
 	length := int(msg[16])<<8 | int(msg[17])

@@ -13,9 +13,9 @@ func ReadMessage(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	for _, b := range hdr[:16] {
+	for i, b := range hdr[:16] {
 		if b != 0xff {
-			return nil, fmt.Errorf("bgp: bad marker in message header")
+			return nil, fmt.Errorf("bgp: bad marker byte %#02x at offset %d in message header", b, i)
 		}
 	}
 	length := int(binary.BigEndian.Uint16(hdr[16:]))

@@ -48,6 +48,7 @@ func (in *Injector) Proxy(addr, backend string) (*Proxy, error) {
 		conns:   make(map[net.Conn]struct{}),
 	}
 	p.wg.Add(1)
+	//lint:ignore noderivedgo accept loop lives for the proxy's lifetime and is wg-drained on Close
 	go p.acceptLoop()
 	return p, nil
 }
@@ -88,6 +89,7 @@ func (p *Proxy) acceptLoop() {
 			return
 		}
 		p.wg.Add(1)
+		//lint:ignore noderivedgo one goroutine per proxied connection, wg-drained on Close
 		go func() {
 			defer p.wg.Done()
 			p.serve(client)
@@ -116,6 +118,7 @@ func (p *Proxy) serve(client net.Conn) {
 	// both sockets, which unblocks the other.
 	var pumps sync.WaitGroup
 	pumps.Add(1)
+	//lint:ignore noderivedgo return-path pump is paired 1:1 with its connection and joined before serve returns
 	go func() {
 		defer pumps.Done()
 		io.Copy(client, backend) //nolint:errcheck // a severed pump is the point

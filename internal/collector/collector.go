@@ -159,6 +159,7 @@ func Serve(ln net.Listener, opts Options) *Server {
 		s.mw = mrt.NewWriter(opts.Archive)
 	}
 	s.wg.Add(1)
+	//lint:ignore noderivedgo accept loop lives for the server's lifetime; sessions below are wg-tracked
 	go s.acceptLoop()
 	return s
 }
@@ -236,6 +237,7 @@ func (s *Server) acceptLoop() {
 		}
 		backoff = acceptBackoffMin
 		s.wg.Add(1)
+		//lint:ignore noderivedgo one goroutine per accepted BGP session, bounded by the peer set and wg-drained on Close
 		go func() {
 			defer s.wg.Done()
 			err := s.serve(conn)

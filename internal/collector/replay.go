@@ -218,8 +218,10 @@ func replayOnce(addr string, vp uint32, msgs [][]byte, opts ReplayOptions, m rep
 	if msg, err = bgp.ReadMessage(br); err != nil {
 		return fmt.Errorf("replay: reading KEEPALIVE: %w", err)
 	}
-	if typ, _, err := bgp.ParseHeader(msg); err != nil || typ != bgp.MsgKeepalive {
-		return fmt.Errorf("replay: expected KEEPALIVE, got type %d (err %v)", typ, err)
+	if typ, _, err := bgp.ParseHeader(msg); err != nil {
+		return fmt.Errorf("replay: expected KEEPALIVE: %w", err)
+	} else if typ != bgp.MsgKeepalive {
+		return fmt.Errorf("replay: expected KEEPALIVE, got type %d", typ)
 	}
 
 	// Announce everything the collector has not already consumed.

@@ -183,6 +183,7 @@ type obsKey struct {
 func NewRelations(rels map[paths.Link]topology.Relationship) *Relations {
 	asns := make([]uint32, 0, 2*len(rels))
 	for l := range rels {
+		//lint:ignore nodeterminismleak asindex.New sorts and dedups its input, so collection order cannot leak
 		asns = append(asns, l.A, l.B)
 	}
 	r := &Relations{
@@ -202,6 +203,7 @@ func NewRelations(rels map[paths.Link]topology.Relationship) *Relations {
 		}
 		pi, _ := r.idx.Pos(provider)
 		ci, _ := r.idx.Pos(customer)
+		//lint:ignore nodeterminismleak every custIdx row is sorted immediately below
 		r.custIdx[pi] = append(r.custIdx[pi], ci)
 	}
 	for _, cs := range r.custIdx {

@@ -1,0 +1,95 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis vet framework: an Analyzer is a named
+// check with a Run function, a Pass hands it one type-checked package,
+// and diagnostics are (position, message) pairs the driver renders and
+// filters through the repo's //lint:ignore mechanism.
+//
+// The API deliberately mirrors x/tools so the suite can migrate to the
+// real framework verbatim once the module is allowed external
+// dependencies; until then the loader in internal/lint/load plays the
+// role of go/packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lowercase, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description printed by -list: the
+	// invariant the analyzer encodes and why it exists.
+	Doc string
+
+	// Run executes the check over one package and reports findings
+	// via pass.Report. The returned error aborts the whole run (exit
+	// code 2), so it is reserved for internal failures, never for
+	// findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in Files to file:line:col.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, including in-package
+	// _test.go files. Analyzers that must skip tests filter on the
+	// position's filename (see InTestFile).
+	Files []*ast.File
+
+	// Pkg and TypesInfo are the go/types results for the package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the import path under analysis, e.g.
+	// github.com/asrank-go/asrank/internal/cone.
+	PkgPath string
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string // filled in by the driver when empty
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// Preorder walks every file in the pass in depth-first preorder,
+// calling fn for each node. A convenience mirroring the x/tools
+// inspector's most common mode.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}

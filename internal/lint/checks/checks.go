@@ -1,0 +1,106 @@
+// Package checks holds the five analyzers encoding the repository's
+// load-bearing invariants:
+//
+//   - noderivedgo: all fan-out goes through the bounded internal/pool.
+//   - nodeterminismleak: inference, cones, chaos schedules, and path
+//     sanitization stay seed-deterministic.
+//   - obsnames: metric names are statically valid Prometheus names in
+//     the asrank house style.
+//   - errwrap: error chains survive fmt.Errorf, and loop errors carry
+//     iteration context.
+//   - nolockcopy-atomics: counters use typed atomics, not the legacy
+//     function-call API over plain integers.
+//
+// Each analyzer honors the //lint:ignore suppression mechanism (see
+// internal/lint/ignore) applied by the driver, never by the analyzers
+// themselves.
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/asrank-go/asrank/internal/lint/analysis"
+)
+
+// All returns the full suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NoDerivedGo,
+		NoDeterminismLeak,
+		ObsNames,
+		ErrWrap,
+		NoLockCopyAtomics,
+	}
+}
+
+// calleeFunc resolves the called function or method of call, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function
+// pkgPath.name (never a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pkgPathMatches reports whether got is exactly want or ends with
+// "/"+want, so production paths (github.com/…/internal/core) and
+// golden testdata paths (internal/core) match the same rule.
+func pkgPathMatches(got, want string) bool {
+	return got == want || strings.HasSuffix(got, "/"+want)
+}
+
+// parentMap records each node's parent within one file.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(f *ast.File) parentMap {
+	pm := make(parentMap)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing
+// function declaration (not literal) containing pos, or nil.
+func enclosingFuncBody(f *ast.File, pos ast.Node) *ast.BlockStmt {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos.Pos() && pos.Pos() < fd.Body.End() {
+			return fd.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package checks_test
+
+import (
+	"testing"
+
+	"github.com/asrank-go/asrank/internal/lint/checks"
+	"github.com/asrank-go/asrank/internal/lint/linttest"
+)
+
+const src = "testdata/src"
+
+func TestNoDerivedGo(t *testing.T) {
+	linttest.Run(t, src, checks.NoDerivedGo, "noderivedgo")
+}
+
+// TestNoDerivedGoPoolExempt proves the one sanctioned package stays
+// silent: the golden internal/pool package spawns goroutines and the
+// file carries zero want comments.
+func TestNoDerivedGoPoolExempt(t *testing.T) {
+	linttest.Run(t, src, checks.NoDerivedGo, "internal/pool")
+}
+
+func TestNoDeterminismLeak(t *testing.T) {
+	linttest.Run(t, src, checks.NoDeterminismLeak, "internal/core")
+}
+
+// TestNoDeterminismLeakScope proves packages outside the deterministic
+// set may use wall clock and global rand freely.
+func TestNoDeterminismLeakScope(t *testing.T) {
+	linttest.Run(t, src, checks.NoDeterminismLeak, "plain")
+}
+
+func TestObsNames(t *testing.T) {
+	linttest.Run(t, src, checks.ObsNames, "obsnames")
+}
+
+func TestErrWrap(t *testing.T) {
+	linttest.Run(t, src, checks.ErrWrap, "errwrap")
+}
+
+func TestNoLockCopyAtomics(t *testing.T) {
+	linttest.Run(t, src, checks.NoLockCopyAtomics, "nolockcopyatomics")
+}
+
+// TestSuppression pins the //lint:ignore contract end to end: a
+// standalone directive silences exactly one diagnostic on the next
+// line (its twin on the line after is still reported), a trailing
+// directive covers its own line, an unused directive is reported, and
+// a reasonless directive is malformed.
+func TestSuppression(t *testing.T) {
+	linttest.Run(t, src, checks.NoDerivedGo, "suppress")
+}

@@ -1,0 +1,190 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/asrank-go/asrank/internal/lint/analysis"
+)
+
+// ErrWrap keeps error chains intact. Two rules:
+//
+//  1. An error operand given to fmt.Errorf must use the %w verb —
+//     %v/%s/%q flatten the chain, so errors.Is/As downstream (retry
+//     classification in the replay path, malformed-UPDATE policy
+//     decisions) silently stop matching. %T and %p are allowed: they
+//     introspect rather than format the error.
+//  2. errors.New or fmt.Errorf in a loop whose arguments reference no
+//     variable at all produces the identical error on every iteration,
+//     discarding which element failed. ReplayAll aggregates per-VP
+//     errors with errors.Join; a context-free error there reads as one
+//     failure instead of N distinguishable ones.
+var ErrWrap = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "requires %w for error operands of fmt.Errorf and flags " +
+		"context-free errors constructed inside loops",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+			return
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil || strings.Contains(format, "%[") {
+			return // explicit argument indexes: out of scope
+		}
+		for i, verb := range formatVerbs(format) {
+			argIdx := 1 + i
+			if argIdx >= len(call.Args) {
+				break
+			}
+			if verb == 'w' || verb == 'T' || verb == 'p' || verb == '*' {
+				continue
+			}
+			arg := call.Args[argIdx]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if types.Implements(tv.Type, errType) {
+				pass.Reportf(arg.Pos(),
+					"error %s formatted with %%%c; use %%w so the chain stays unwrappable",
+					types.ExprString(arg), verb)
+			}
+		}
+	})
+
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			body, declares := loopBody(n)
+			if body == nil || !declares {
+				return true
+			}
+			checkLoopErrors(pass, body, reported)
+			return true
+		})
+	}
+	return nil
+}
+
+// formatVerbs returns one rune per argument-consuming verb, in operand
+// order. A '*' width or precision consumes an argument of its own and
+// is emitted as '*'.
+func formatVerbs(format string) []rune {
+	var out []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(rs) && strings.ContainsRune("+-# 0", rs[i]) {
+			i++
+		}
+		// width
+		for i < len(rs) && (rs[i] >= '0' && rs[i] <= '9') {
+			i++
+		}
+		if i < len(rs) && rs[i] == '*' {
+			out = append(out, '*')
+			i++
+		}
+		// precision
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			for i < len(rs) && (rs[i] >= '0' && rs[i] <= '9') {
+				i++
+			}
+			if i < len(rs) && rs[i] == '*' {
+				out = append(out, '*')
+				i++
+			}
+		}
+		if i >= len(rs) || rs[i] == '%' {
+			continue
+		}
+		out = append(out, rs[i])
+	}
+	return out
+}
+
+// loopBody returns the body of a loop statement and whether the loop
+// declares an iteration variable worth citing in errors.
+func loopBody(n ast.Node) (*ast.BlockStmt, bool) {
+	switch l := n.(type) {
+	case *ast.RangeStmt:
+		return l.Body, l.Key != nil
+	case *ast.ForStmt:
+		return l.Body, l.Init != nil
+	}
+	return nil, false
+}
+
+// checkLoopErrors flags returned errors.New/fmt.Errorf calls in body
+// whose arguments reference no variable.
+func checkLoopErrors(pass *analysis.Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures escape the iteration; skip
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok || reported[call.Pos()] {
+				continue
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !isPkgFunc(fn, "errors", "New") && !isPkgFunc(fn, "fmt", "Errorf") {
+				continue
+			}
+			if referencesVariable(pass.TypesInfo, call.Args) {
+				continue
+			}
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(),
+				"error built inside a loop carries no iteration context; include the loop variable "+
+					"(or //lint:ignore errwrap <reason> if the error is genuinely iteration-independent)")
+		}
+		return true
+	})
+}
+
+// referencesVariable reports whether any expression mentions a
+// variable (as opposed to constants and package names only).
+func referencesVariable(info *types.Info, exprs []ast.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || found {
+				return !found
+			}
+			if _, isVar := info.Uses[id].(*types.Var); isVar {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,39 @@
+package checks
+
+import (
+	"go/ast"
+
+	"github.com/asrank-go/asrank/internal/lint/analysis"
+)
+
+// NoDerivedGo enforces the bounded-concurrency invariant behind the
+// byte-identical parallel cone crediting: the only place allowed to
+// spawn raw goroutines is internal/pool, whose Range/Chunks schedulers
+// give every fan-out deterministic shard boundaries and a worker
+// ceiling. A naked `go` statement anywhere else either duplicates the
+// pool badly or silently breaks the "results identical at any worker
+// count" guarantee. Test files are exempt; long-lived service loops
+// (listeners, signal handlers) document themselves with
+// //lint:ignore noderivedgo <reason>.
+var NoDerivedGo = &analysis.Analyzer{
+	Name: "noderivedgo",
+	Doc: "flags naked go statements outside internal/pool and test files; " +
+		"fan-out must use pool.Range or pool.Chunks",
+	Run: runNoDerivedGo,
+}
+
+func runNoDerivedGo(pass *analysis.Pass) error {
+	if pkgPathMatches(pass.PkgPath, "internal/pool") {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		g, ok := n.(*ast.GoStmt)
+		if !ok || pass.InTestFile(g.Pos()) {
+			return
+		}
+		pass.Reportf(g.Pos(),
+			"naked go statement: fan-out must go through the bounded pool (pool.Range or pool.Chunks); "+
+				"for a long-lived service goroutine add //lint:ignore noderivedgo <reason>")
+	})
+	return nil
+}

@@ -1,0 +1,60 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/asrank-go/asrank/internal/lint/analysis"
+)
+
+// NoLockCopyAtomics flags the legacy function-call sync/atomic API
+// (atomic.AddInt64(&x, 1) over a plain int64). Typed atomics
+// (atomic.Int64 et al.) make the atomicity part of the field's type:
+// they cannot be mixed with plain loads, are immune to the
+// 64-bit-alignment trap on 32-bit platforms, and are copy-checked by
+// vet. The analyzer applies to test files too — racy test bookkeeping
+// has repeatedly been where regressions hide first.
+var NoLockCopyAtomics = &analysis.Analyzer{
+	Name: "nolockcopy-atomics",
+	Doc: "flags legacy sync/atomic function calls on plain integer fields; " +
+		"use the typed atomic.Int64/Uint64/... forms",
+	Run: runNoLockCopyAtomics,
+}
+
+// typedReplacement maps a legacy call suffix to the typed form.
+var typedReplacement = []struct{ suffix, typed string }{
+	{"Int32", "atomic.Int32"},
+	{"Int64", "atomic.Int64"},
+	{"Uint32", "atomic.Uint32"},
+	{"Uint64", "atomic.Uint64"},
+	{"Uintptr", "atomic.Uintptr"},
+	{"Pointer", "atomic.Pointer[T]"},
+}
+
+func runNoLockCopyAtomics(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // methods on typed atomics are exactly what we want
+		}
+		typed := "a typed atomic"
+		for _, r := range typedReplacement {
+			if strings.HasSuffix(fn.Name(), r.suffix) {
+				typed = r.typed
+				break
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"legacy sync/atomic call atomic.%s over a plain integer; declare the field as %s and use its methods",
+			fn.Name(), typed)
+	})
+	return nil
+}

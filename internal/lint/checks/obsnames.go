@@ -1,0 +1,193 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/asrank-go/asrank/internal/lint/analysis"
+)
+
+// ObsNames checks, at vet time, every string literal handed to an
+// obs.Registry constructor (Counter, CounterVec, Gauge, GaugeVec,
+// Histogram, HistogramVec) against the Prometheus data-model grammar
+// and the repo's house style:
+//
+//	asrank_<subsystem>_<noun>[_<unit>][_total]
+//
+// Concretely: lowercase [a-z0-9_] segments with an asrank_ prefix and
+// at least three segments; counters end in _total; gauges do not;
+// histograms end in a unit (_seconds or _bytes). Label names are
+// lowercase identifiers and may not collide with the reserved le,
+// quantile, or __-prefixed names. The runtime exposition linter in
+// internal/obs enforces the same rules at test time; this analyzer
+// moves the failure to `make lint`, before a process ever scrapes.
+// Registrations in _test.go files are exempt (tests exercise the
+// registry itself, including its panics on bad names).
+var ObsNames = &analysis.Analyzer{
+	Name: "obsnames",
+	Doc: "statically checks obs metric and label name literals against " +
+		"the Prometheus grammar and the asrank_<subsystem>_... house style",
+	Run: runObsNames,
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	houseSegRe  = regexp.MustCompile(`^[a-z][a-z0-9]*$|^[0-9][a-z0-9]*$`)
+	houseLabRe  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	unitSuffix  = []string{"_seconds", "_bytes"}
+	constructor = map[string]string{
+		"Counter": "counter", "CounterVec": "counter",
+		"Gauge": "gauge", "GaugeVec": "gauge",
+		"Histogram": "histogram", "HistogramVec": "histogram",
+	}
+)
+
+func runObsNames(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pass.InTestFile(call.Pos()) {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		kind, ok := constructor[sel.Sel.Name]
+		if !ok || !isObsRegistry(pass.TypesInfo, sel.X) || len(call.Args) < 2 {
+			return
+		}
+		checkName(pass, call.Args[0], kind)
+		checkHelp(pass, call.Args[1])
+		labelStart := 2
+		if sel.Sel.Name == "HistogramVec" {
+			labelStart = 3 // buckets sit between help and labels
+		}
+		if strings.HasSuffix(sel.Sel.Name, "Vec") {
+			for _, arg := range call.Args[labelStart:] {
+				checkLabel(pass, arg)
+			}
+		}
+	})
+	return nil
+}
+
+// isObsRegistry reports whether expr's static type is (a pointer to)
+// the Registry type of a package named obs.
+func isObsRegistry(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+func stringLit(expr ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(expr).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func checkName(pass *analysis.Pass, arg ast.Expr, kind string) {
+	name, ok := stringLit(arg)
+	if !ok {
+		pass.Reportf(arg.Pos(),
+			"metric name must be a string literal so it is checkable at vet time")
+		return
+	}
+	if !promNameRe.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric name %q is not a valid Prometheus metric name", name)
+		return
+	}
+	segs := strings.Split(name, "_")
+	for _, s := range segs {
+		if s == "" || !houseSegRe.MatchString(s) {
+			pass.Reportf(arg.Pos(),
+				"metric name %q breaks the house style: lowercase [a-z0-9] segments separated by single underscores", name)
+			return
+		}
+	}
+	if segs[0] != "asrank" {
+		pass.Reportf(arg.Pos(), "metric name %q must carry the asrank_ namespace prefix", name)
+		return
+	}
+	if len(segs) < 3 {
+		pass.Reportf(arg.Pos(),
+			"metric name %q is too flat: want asrank_<subsystem>_<noun>... (>= 3 segments)", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "counter %q must end in _total", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "gauge %q must not end in _total (that suffix marks counters)", name)
+		}
+	case "histogram":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "histogram %q must not end in _total (that suffix marks counters)", name)
+			return
+		}
+		hasUnit := false
+		for _, u := range unitSuffix {
+			if strings.HasSuffix(name, u) {
+				hasUnit = true
+			}
+		}
+		if !hasUnit {
+			pass.Reportf(arg.Pos(), "histogram %q must end in a base unit (_seconds or _bytes)", name)
+		}
+	}
+}
+
+func checkHelp(pass *analysis.Pass, arg ast.Expr) {
+	help, ok := stringLit(arg)
+	if !ok {
+		return // non-literal help is legal, just unusual
+	}
+	if strings.TrimSpace(help) == "" {
+		pass.Reportf(arg.Pos(), "metric help string must not be empty")
+	}
+}
+
+func checkLabel(pass *analysis.Pass, arg ast.Expr) {
+	label, ok := stringLit(arg)
+	if !ok {
+		pass.Reportf(arg.Pos(),
+			"label name must be a string literal so it is checkable at vet time")
+		return
+	}
+	switch {
+	case label == "le" || label == "quantile":
+		pass.Reportf(arg.Pos(), "label %q is reserved by the Prometheus exposition format", label)
+	case strings.HasPrefix(label, "__"):
+		pass.Reportf(arg.Pos(), "label %q uses the reserved __ prefix", label)
+	case !houseLabRe.MatchString(label):
+		pass.Reportf(arg.Pos(),
+			"label %q breaks the house style: lowercase identifier matching [a-z][a-z0-9_]*", label)
+	}
+}

@@ -1,0 +1,96 @@
+// Golden input for errwrap: %w for error operands, and loop errors
+// must carry iteration context.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var sentinel = errors.New("sentinel")
+
+func flattenV(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want "error err formatted with %v"
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("stage %s failed at step %d", err, 3) // want "error err formatted with %s"
+}
+
+func flattenQ(err error) error {
+	return fmt.Errorf("stage failed: %q", err) // want "error err formatted with %q"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("stage failed: %w", err)
+}
+
+func multiWrap(a, b error) error {
+	return fmt.Errorf("both failed: %w / %w", a, b)
+}
+
+func introspect(err error) error {
+	return fmt.Errorf("unexpected error type %T", err)
+}
+
+func notAnError(n int) error {
+	return fmt.Errorf("bad count %v", n)
+}
+
+func starWidth(err error, w int) error {
+	return fmt.Errorf("%*d then %v", w, 7, err) // want "error err formatted with %v"
+}
+
+func loopContextFree(items []int) error {
+	for range items {
+		// Range without a key declares nothing to cite, so only the
+		// %-verb rule applies here.
+	}
+	for i := range items {
+		if items[i] < 0 {
+			return errors.New("negative item") // want "error built inside a loop carries no iteration context"
+		}
+	}
+	return nil
+}
+
+func loopContextFreeErrorf(items []int) error {
+	for i := 0; i < len(items); i++ {
+		if items[i] < 0 {
+			return fmt.Errorf("negative item in batch") // want "error built inside a loop carries no iteration context"
+		}
+	}
+	return nil
+}
+
+func loopWithContext(items []int) error {
+	for i, v := range items {
+		if v < 0 {
+			return fmt.Errorf("item %d is negative (%d)", i, v)
+		}
+	}
+	return nil
+}
+
+func loopSentinel(items []int) error {
+	for i := range items {
+		if items[i] < 0 {
+			return sentinel // returning a shared sentinel is fine
+		}
+	}
+	return nil
+}
+
+func outsideLoop() error {
+	return errors.New("not in a loop")
+}
+
+func closureEscapes(items []int) func() error {
+	for range items {
+		break
+	}
+	_ = func() error {
+		return errors.New("closures are out of scope")
+	}
+	return nil
+}

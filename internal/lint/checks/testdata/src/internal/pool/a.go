@@ -1,0 +1,10 @@
+// Golden input proving the package-level exemption: internal/pool is
+// the one production package allowed to spawn raw goroutines.
+package pool
+
+func work() {}
+
+func fanOut() {
+	go work()
+	go func() {}()
+}

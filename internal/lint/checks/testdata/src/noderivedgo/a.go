@@ -1,0 +1,15 @@
+// Golden input for the noderivedgo analyzer: naked go statements are
+// flagged wherever they appear in non-test code.
+package noderivedgo
+
+func work() {}
+
+func notify(done chan struct{}) { close(done) }
+
+func fanOut() {
+	go work()      // want "naked go statement"
+	go func() {}() // want "naked go statement"
+	done := make(chan struct{})
+	go notify(done) // want "naked go statement"
+	<-done
+}

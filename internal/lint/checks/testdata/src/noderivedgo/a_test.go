@@ -1,0 +1,6 @@
+package noderivedgo
+
+// Test files are exempt: test harnesses may spawn helpers freely.
+func helperForTests() {
+	go work()
+}

@@ -1,0 +1,37 @@
+// Golden input for nolockcopy-atomics: the legacy function-call API
+// over plain integers is flagged; typed atomics are the fix.
+package nolockcopyatomics
+
+import "sync/atomic"
+
+type legacyCounters struct {
+	hits  int64
+	drops uint32
+}
+
+func (c *legacyCounters) bump() {
+	atomic.AddInt64(&c.hits, 1)    // want "legacy sync/atomic call atomic.AddInt64"
+	atomic.StoreUint32(&c.drops, 0) // want "legacy sync/atomic call atomic.StoreUint32"
+}
+
+func (c *legacyCounters) read() int64 {
+	return atomic.LoadInt64(&c.hits) // want "legacy sync/atomic call atomic.LoadInt64"
+}
+
+type typedCounters struct {
+	hits  atomic.Int64
+	drops atomic.Uint32
+}
+
+func (c *typedCounters) bump() {
+	c.hits.Add(1)
+	c.drops.Store(0)
+}
+
+func (c *typedCounters) read() int64 {
+	return c.hits.Load()
+}
+
+func swapPtr(p *atomic.Pointer[int], v *int) *int {
+	return p.Swap(v)
+}

@@ -1,0 +1,36 @@
+// Package obs is a minimal stand-in for the repo's observability
+// registry, giving the obsnames golden package a type named Registry in
+// a package named obs — the shape the analyzer keys on.
+package obs
+
+type Registry struct{}
+
+type (
+	Counter      struct{}
+	CounterVec   struct{}
+	Gauge        struct{}
+	GaugeVec     struct{}
+	Histogram    struct{}
+	HistogramVec struct{}
+)
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func Default() *Registry { return &Registry{} }
+
+// DurationBuckets mirrors the real package's shared bucket layout.
+var DurationBuckets = []float64{0.001, 0.01, 0.1, 1, 10}
+
+func (r *Registry) Counter(name, help string) *Counter { return nil }
+
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec { return nil }
+
+func (r *Registry) Gauge(name, help string) *Gauge { return nil }
+
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec { return nil }
+
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram { return nil }
+
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return nil
+}

@@ -1,0 +1,50 @@
+// Golden input for obsnames: metric and label literals are checked
+// against the Prometheus grammar and the asrank house style.
+package obsnames
+
+import "obs"
+
+var r = obs.NewRegistry()
+
+// Conforming registrations, mirroring real call sites.
+var (
+	good      = r.Counter("asrank_pool_tasks_total", "Tasks executed by the worker pool.")
+	goodGauge = r.Gauge("asrank_pool_queue_depth", "Chunks not yet claimed.")
+	goodHist  = r.Histogram("asrank_pool_task_duration_seconds", "Wall time per task.", obs.DurationBuckets)
+	goodVec   = r.CounterVec("asrank_collector_sessions_total", "Sessions by outcome.", "result")
+	goodHVec  = r.HistogramVec("asrank_http_request_duration_seconds", "Latency by route.", obs.DurationBuckets, "route")
+)
+
+// Violations.
+var (
+	bare       = r.Counter("asrank_pool_tasks", "Missing unit.")                       // want "must end in _total"
+	gaugeTotal = r.Gauge("asrank_pool_queue_total", "Gauge dressed as counter.")       // want "must not end in _total"
+	flat       = r.Counter("asrank_total", "No subsystem segment.")                    // want "too flat"
+	unprefixed = r.Counter("pool_tasks_total", "Missing namespace.")                   // want "must carry the asrank_ namespace prefix"
+	upper      = r.Counter("asrank_Pool_tasks_total", "Uppercase segment.")            // want "breaks the house style"
+	invalid    = r.Counter("9asrank_pool_total", "Leading digit.")                     // want "not a valid Prometheus metric name"
+	unitless   = r.Histogram("asrank_pool_task_duration", "No unit.", []float64{1})    // want "must end in a base unit"
+	histTotal  = r.Histogram("asrank_pool_wait_seconds_total", "Total'd histogram.",   // want "must not end in _total"
+			[]float64{1})
+	emptyHelp = r.Counter("asrank_pool_drops_total", "") // want "help string must not be empty"
+)
+
+// Label violations; HistogramVec's buckets argument must not be
+// mistaken for a label.
+var (
+	reservedLe = r.CounterVec("asrank_http_requests_total", "By bucket.", "le")        // want "reserved by the Prometheus exposition format"
+	dunder     = r.GaugeVec("asrank_http_inflight", "By shard.", "__shard")            // want "uses the reserved __ prefix"
+	upperLabel = r.CounterVec("asrank_http_errors_total", "By route.", "Route")        // want "breaks the house style"
+	hvLabels   = r.HistogramVec("asrank_rpc_duration_seconds", "ok", []float64{1}, "quantile") // want "reserved by the Prometheus exposition format"
+)
+
+// Non-literal names defeat static checking and are findings themselves.
+var dynamicName = "asrank_dyn_total"
+var dyn = r.Counter(dynamicName, "Dynamic.") // want "must be a string literal"
+
+// A same-named method on a non-Registry type is out of scope.
+type fake struct{}
+
+func (fake) Counter(name, help string) int { return 0 }
+
+var notRegistry = fake{}.Counter("whatever uppercase ☃", "ignored")

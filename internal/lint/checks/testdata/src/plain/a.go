@@ -1,0 +1,25 @@
+// Golden input proving nodeterminismleak scoping: this package is not
+// in the deterministic set, so wall-clock and global-rand use pass.
+package plain
+
+import (
+	"math/rand"
+	"time"
+)
+
+func uptime(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}
+
+func jitter() int {
+	return rand.Intn(100)
+}
+
+func collect(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Golden input for the //lint:ignore mechanism, exercised through the
+// noderivedgo analyzer: a directive silences exactly the one
+// diagnostic on its covered line, unused directives are themselves
+// reported, and a directive without a reason is malformed.
+package suppress
+
+func loop() {}
+
+func standaloneDirective() {
+	//lint:ignore noderivedgo accept loop lives for the test server's lifetime
+	go loop()
+	go loop() // want "naked go statement"
+}
+
+func trailingDirective() {
+	go loop() //lint:ignore noderivedgo pump goroutine is joined by its caller
+}
+
+func unusedDirective() {
+	//lint:ignore noderivedgo nothing on the next line violates anything // want "unused //lint:ignore directive"
+	x := 1
+	_ = x
+}
+
+func reasonlessDirective() {
+	//lint:ignore // want "malformed //lint:ignore directive"
+	go loop() // want "naked go statement"
+}

@@ -1,0 +1,186 @@
+// Package ignore implements the suite's one suppression mechanism:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A trailing directive (code before it on the same line) suppresses
+// matching diagnostics on its own line; a directive alone on a line
+// suppresses matching diagnostics on the next line. The reason is
+// mandatory — a directive without one is itself a diagnostic — and so
+// is usefulness: a directive that suppresses nothing while all of its
+// named analyzers ran is reported as unused, so stale suppressions
+// cannot accumulate.
+package ignore
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/asrank-go/asrank/internal/lint/analysis"
+)
+
+// DiagnosticSource is the analyzer name attached to diagnostics about
+// the directives themselves (malformed or unused).
+const DiagnosticSource = "lint"
+
+const prefix = "//lint:ignore"
+
+// Directive is one parsed //lint:ignore comment.
+type Directive struct {
+	Pos       token.Pos
+	File      string
+	Covers    int // line whose diagnostics the directive suppresses
+	Analyzers []string
+	Reason    string
+	used      bool
+}
+
+// Collect parses every //lint:ignore directive in files. Malformed
+// directives are returned as diagnostics, not directives.
+func Collect(fset *token.FileSet, files []*ast.File) ([]*Directive, []analysis.Diagnostic) {
+	var dirs []*Directive
+	var diags []analysis.Diagnostic
+	for _, f := range files {
+		codeCols := codeColumnsByLine(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d, err := parse(c.Text)
+				if err != nil {
+					diags = append(diags, analysis.Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DiagnosticSource,
+						Message:  err.Error(),
+					})
+					continue
+				}
+				d.Pos = c.Pos()
+				d.File = pos.Filename
+				d.Covers = pos.Line + 1
+				if col, ok := codeCols[pos.Line]; ok && col < pos.Column {
+					// Trailing comment: code precedes it, so it
+					// covers its own line.
+					d.Covers = pos.Line
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// parse splits "//lint:ignore a,b reason" into analyzers and reason.
+func parse(text string) (*Directive, error) {
+	rest := strings.TrimPrefix(text, prefix)
+	// A trailing "// want ..." belongs to the linttest harness, not
+	// to the reason.
+	if i := strings.Index(rest, "// want"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("malformed %s directive: want %s <analyzers> <reason>", prefix, prefix)
+	}
+	names := strings.Split(fields[0], ",")
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("malformed %s directive: empty analyzer name in %q", prefix, fields[0])
+		}
+	}
+	return &Directive{Analyzers: names, Reason: strings.Join(fields[1:], " ")}, nil
+}
+
+// Filter drops diagnostics covered by a directive naming their
+// analyzer, then reports directives that suppressed nothing even
+// though every analyzer they name is in ran. The returned slice is
+// sorted by position.
+func Filter(fset *token.FileSet, diags []analysis.Diagnostic, dirs []*Directive, ran map[string]bool) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.File == pos.Filename && dir.Covers == pos.Line && names(dir).Contains(d.Analyzer) {
+				dir.used = true
+				suppressed = true
+				// Keep scanning: stacked directives covering the
+				// same line must all count as used.
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.used {
+			continue
+		}
+		all := true
+		for _, n := range dir.Analyzers {
+			if !ran[n] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue // an analyzer it names did not run; cannot judge
+		}
+		out = append(out, analysis.Diagnostic{
+			Pos:      dir.Pos,
+			Analyzer: DiagnosticSource,
+			Message: fmt.Sprintf("unused %s directive (no %s diagnostic on the covered line)",
+				prefix, strings.Join(dir.Analyzers, ",")),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out
+}
+
+type nameSet []string
+
+func names(d *Directive) nameSet { return d.Analyzers }
+
+func (s nameSet) Contains(n string) bool {
+	for _, v := range s {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+// codeColumnsByLine maps each line holding non-comment code to the
+// smallest column any code token starts at, so Collect can tell
+// trailing directives from whole-line ones.
+func codeColumnsByLine(fset *token.FileSet, f *ast.File) map[int]int {
+	cols := make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		pos := fset.Position(n.Pos())
+		if c, ok := cols[pos.Line]; !ok || pos.Column < c {
+			cols[pos.Line] = pos.Column
+		}
+		return true
+	})
+	return cols
+}

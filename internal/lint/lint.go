@@ -1,0 +1,159 @@
+// Package lint is the driver behind cmd/asrank-lint: it loads the
+// requested packages, runs the analyzer suite from internal/lint/checks
+// over each, applies //lint:ignore suppression, and renders findings in
+// the go-vet file:line:col style.
+//
+// Exit-code contract (stable; CI depends on it):
+//
+//	0 — every analyzer ran, no findings
+//	1 — analyzers ran to completion and reported at least one finding
+//	2 — the run itself failed (bad flags, unresolvable packages,
+//	    type errors, unknown analyzer names)
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/asrank-go/asrank/internal/lint/analysis"
+	"github.com/asrank-go/asrank/internal/lint/checks"
+	"github.com/asrank-go/asrank/internal/lint/ignore"
+	"github.com/asrank-go/asrank/internal/lint/load"
+)
+
+// Run executes the suite with CLI semantics and returns the exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asrank-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and their invariants, then exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: asrank-lint [-list] [-only a,b] [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs the repo's invariant analyzers over the given package\n")
+		fmt.Fprintf(stderr, "patterns (default ./...). Exit codes: 0 clean, 1 findings, 2 error.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := checks.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, n := range strings.Split(*only, ",") {
+			a, ok := byName[n]
+			if !ok {
+				fmt.Fprintf(stderr, "asrank-lint: unknown analyzer %q\n", n)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "asrank-lint: %v\n", err)
+		return 2
+	}
+	loader, err := load.New(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "asrank-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "asrank-lint: %v\n", err)
+		return 2
+	}
+
+	ran := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		ran[a.Name] = true
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range suite {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      loader.Fset(),
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				PkgPath:   pkg.Path,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			name := a.Name
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "asrank-lint: %s: %s: %v\n", pkg.Path, name, err)
+				return 2
+			}
+			for i := range diags {
+				if diags[i].Analyzer == "" {
+					diags[i].Analyzer = name
+				}
+			}
+		}
+		dirs, bad := ignore.Collect(loader.Fset(), pkg.Files)
+		diags = append(diags, bad...)
+		diags = ignore.Filter(loader.Fset(), diags, dirs, ran)
+		for _, d := range diags {
+			pos := loader.Fset().Position(d.Pos)
+			fmt.Fprintf(stdout, "%s: %s: %s\n", relPos(root, pos.String()), d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "asrank-lint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the go.mod dir.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relPos trims the module root prefix from a position string so
+// findings print repo-relative, clickable paths.
+func relPos(root, pos string) string {
+	if rest, ok := strings.CutPrefix(pos, root+string(filepath.Separator)); ok {
+		return rest
+	}
+	return pos
+}

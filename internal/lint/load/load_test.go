@@ -1,0 +1,79 @@
+package load
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from this package to the directory with go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Clean(filepath.Join(dir, "..", "..", ".."))
+}
+
+// TestLoadWholeModule proves the source importer can resolve and
+// type-check every package in the repository — including the heavy
+// stdlib consumers (net in collector/chaos, net/http in apiserver) —
+// with no network and no export data.
+func TestLoadWholeModule(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected >= 20 packages, got %d", len(pkgs))
+	}
+	want := map[string]bool{
+		"github.com/asrank-go/asrank":                    false,
+		"github.com/asrank-go/asrank/internal/collector": false,
+		"github.com/asrank-go/asrank/internal/apiserver": false,
+		"github.com/asrank-go/asrank/cmd/asrankd":        false,
+	}
+	for _, p := range pkgs {
+		if _, ok := want[p.Path]; ok {
+			want[p.Path] = true
+		}
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: incomplete load", p.Path)
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+}
+
+// TestLoadSinglePattern checks non-recursive pattern expansion.
+func TestLoadSinglePattern(t *testing.T) {
+	l, err := New(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "github.com/asrank-go/asrank/internal/pool" {
+		t.Fatalf("unexpected result: %+v", pkgs)
+	}
+	// In-package test files ride along so analyzers see them.
+	foundTest := false
+	for _, f := range pkgs[0].Files {
+		name := l.Fset().File(f.Pos()).Name()
+		if filepath.Base(name) == "pool_test.go" {
+			foundTest = true
+		}
+	}
+	if !foundTest {
+		t.Error("pool_test.go not included in load")
+	}
+}

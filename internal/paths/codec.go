@@ -59,7 +59,7 @@ func Read(r io.Reader) (*Dataset, error) {
 		if parts[1] != "" {
 			prefix, err := netip.ParsePrefix(parts[1])
 			if err != nil {
-				return nil, fmt.Errorf("paths: line %d: %v", lineno, err)
+				return nil, fmt.Errorf("paths: line %d: %w", lineno, err)
 			}
 			p.Prefix = prefix
 		}

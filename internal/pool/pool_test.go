@@ -13,14 +13,14 @@ import (
 func TestRangeCoversEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 7, 64} {
 		for _, n := range []int{0, 1, 5, 100} {
-			hits := make([]int32, n)
+			hits := make([]atomic.Int32, n)
 			Range(workers, n, func(_, lo, hi int) {
 				for i := lo; i < hi; i++ {
-					atomic.AddInt32(&hits[i], 1)
+					hits[i].Add(1)
 				}
 			})
-			for i, h := range hits {
-				if h != 1 {
+			for i := range hits {
+				if h := hits[i].Load(); h != 1 {
 					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
 				}
 			}

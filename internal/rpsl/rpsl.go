@@ -147,7 +147,7 @@ func ParseAutNum(o *Object) (*AutNum, error) {
 	v, _ := o.First("aut-num")
 	a, err := asn.Parse(v)
 	if err != nil {
-		return nil, fmt.Errorf("rpsl: bad aut-num value %q: %v", v, err)
+		return nil, fmt.Errorf("rpsl: bad aut-num value %q: %w", v, err)
 	}
 	an := &AutNum{ASN: a}
 	an.Name, _ = o.First("as-name")
@@ -181,7 +181,7 @@ func parsePolicy(line, peerKw, filterKw string) (Policy, error) {
 			}
 			a, err := asn.Parse(fields[i+1])
 			if err != nil {
-				return p, fmt.Errorf("rpsl: policy %q: %v", line, err)
+				return p, fmt.Errorf("rpsl: policy %q: %w", line, err)
 			}
 			p.Peer = a
 			i++
