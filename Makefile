@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint bench metrics-lint fuzz-smoke
+.PHONY: build test check lint bench metrics-lint fuzz-smoke trace-demo
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,29 @@ bench:
 metrics-lint:
 	$(GO) test -count=1 -run 'TestExposition|TestLint' ./internal/obs
 	$(GO) test -count=1 -run TestMetricsEndToEnd ./internal/apiserver
+
+# End-to-end span-trace demo (DESIGN.md §12): simulate a seed topology,
+# replay it into a live collector through chaos-injected dials, and run
+# inference — each stage writing a -trace capture. Every file is
+# schema-self-checked on write; drag any of them into
+# https://ui.perfetto.dev (or chrome://tracing) to browse.
+TRACEDIR ?= trace-demo
+
+trace-demo:
+	mkdir -p $(TRACEDIR)/bin
+	$(GO) build -o $(TRACEDIR)/bin/ ./cmd/topogen ./cmd/collector ./cmd/bgpsim ./cmd/asrank
+	$(TRACEDIR)/bin/topogen -ases 800 -seed 42 -o $(TRACEDIR)/topo.txt
+	$(TRACEDIR)/bin/bgpsim -topo $(TRACEDIR)/topo.txt -vps 8 -seed 42 \
+		-o $(TRACEDIR)/paths.txt -trace $(TRACEDIR)/bgpsim-trace.json
+	$(TRACEDIR)/bin/collector -listen 127.0.0.1:17901 \
+		-paths $(TRACEDIR)/collected.txt & pid=$$!; sleep 1; \
+	$(TRACEDIR)/bin/bgpsim -topo $(TRACEDIR)/topo.txt -vps 8 -seed 42 \
+		-replay 127.0.0.1:17901 -chaos-seed 42 -retries 16 \
+		-trace $(TRACEDIR)/replay-trace.json || { kill -INT $$pid; exit 1; }; \
+	kill -INT $$pid; wait $$pid
+	$(TRACEDIR)/bin/asrank -paths $(TRACEDIR)/paths.txt \
+		-o $(TRACEDIR)/rels.txt -trace $(TRACEDIR)/asrank-trace.json
+	@echo "traces in $(TRACEDIR)/: bgpsim-trace.json replay-trace.json asrank-trace.json"
 
 # Short native-fuzzing pass over every decoder target, seeded with the
 # shared chaos-corrupted corpus. Each target gets FUZZTIME; `go test`

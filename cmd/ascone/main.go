@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/asrank-go/asrank/internal/cone"
@@ -20,6 +21,7 @@ import (
 	"github.com/asrank-go/asrank/internal/relfile"
 	"github.com/asrank-go/asrank/internal/stats"
 	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/tracecli"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		ppdc      = flag.String("ppdc", "", "also write cone membership in CAIDA ppdc-ases format here")
 		workers   = flag.Int("workers", 0, "worker-pool size for sanitization and cone engines (0 = GOMAXPROCS)")
 		report    = flag.Bool("stats", false, "dump the metrics registry as a run report to stderr after the run")
+		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON span trace here (open in Perfetto)")
 	)
 	flag.Parse()
 	if *pathsFile == "" {
@@ -46,7 +49,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ds, _ = paths.Sanitize(ds, paths.SanitizeOptions{Workers: *workers})
+	tr := tracecli.Start(*traceFile, "ascone.run")
+	tr.Root().SetAttr("method", *method)
+	tr.Root().SetAttr("weight", *weight)
+	ds, _ = paths.SanitizeCtx(tr.Context(), ds, paths.SanitizeOptions{Workers: *workers})
 
 	var rels map[paths.Link]topology.Relationship
 	var transitDegree map[uint32]int
@@ -62,12 +68,12 @@ func main() {
 		}
 		transitDegree = ds.TransitDegrees()
 	} else {
-		res := core.Infer(ds, core.Options{Workers: *workers})
+		res := core.InferCtx(tr.Context(), ds, core.Options{Workers: *workers})
 		rels = res.Rels
 		transitDegree = res.TransitDegree
 	}
 
-	r := cone.NewRelations(rels).WithWorkers(*workers)
+	r := cone.NewRelations(rels).WithWorkers(*workers).WithContext(tr.Context())
 	var cones cone.Sets
 	switch *method {
 	case "pp":
@@ -122,6 +128,13 @@ func main() {
 	fmt.Print(t.String())
 	if *report {
 		obs.Default().WriteReport(os.Stderr)
+	}
+	var tree io.Writer
+	if *report {
+		tree = os.Stderr
+	}
+	if err := tr.Finish(tree); err != nil {
+		fatal(err)
 	}
 }
 

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/asrank-go/asrank/internal/core"
@@ -18,6 +19,7 @@ import (
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/relfile"
 	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/tracecli"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 		steps     = flag.Bool("steps", false, "print per-step link counts to stderr")
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
 		stats     = flag.Bool("stats", false, "dump the metrics registry as a run report to stderr after inference")
+		traceFile = flag.String("trace", "", "write a Chrome trace_event JSON span trace here (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -60,7 +63,9 @@ func main() {
 		fatal(err)
 	}
 
-	res := core.Infer(ds, core.Options{Sanitize: true, Workers: *workers})
+	tr := tracecli.Start(*traceFile, "asrank.run")
+	tr.Root().SetAttrInt("paths", int64(len(ds.Paths)))
+	res := core.InferCtx(tr.Context(), ds, core.Options{Sanitize: true, Workers: *workers})
 
 	var c2p, p2p int
 	for _, rel := range res.Rels {
@@ -79,6 +84,13 @@ func main() {
 	}
 	if *stats {
 		obs.Default().WriteReport(os.Stderr)
+	}
+	var tree io.Writer
+	if *stats {
+		tree = os.Stderr
+	}
+	if err := tr.Finish(tree); err != nil {
+		fatal(err)
 	}
 
 	w := os.Stdout

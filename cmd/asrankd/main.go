@@ -14,6 +14,14 @@
 //	asrankd -paths paths.txt -debug-listen 127.0.0.1:6060
 //	curl http://127.0.0.1:6060/metrics            # Prometheus text format
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
+//	curl http://127.0.0.1:6060/debug/trace?sec=10 > trace.json   # live span capture
+//	curl http://127.0.0.1:6060/debug/flight > flight.json        # flight-recorder dump
+//
+// Trace JSON loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing; append &format=tree for a terminal-readable view.
+// API requests record spans into the flight recorder whenever
+// -debug-listen is set, so a slow request from minutes ago is still
+// explainable from /debug/flight.
 //
 // SIGINT/SIGTERM drain in-flight requests via http.Server.Shutdown
 // before exiting.
@@ -34,6 +42,7 @@ import (
 	"github.com/asrank-go/asrank/internal/core"
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 func main() {
@@ -73,24 +82,41 @@ func main() {
 		log.Fatalf("asrankd: %v", err)
 	}
 
+	// The tracer exists only when the debug surface does: spans are read
+	// through /debug/trace and /debug/flight, so without a listener a
+	// tracer would record into the void. A nil tracer costs instrumented
+	// code one branch.
+	var tracer *trace.Tracer
+	if *debugListen != "" {
+		tracer = trace.New(trace.Options{})
+	}
+
 	start := time.Now()
-	res := core.Infer(ds, core.Options{Sanitize: true, Workers: *workers})
+	startCtx, startSpan := tracer.StartSpan(context.Background(), "asrankd.startup")
+	res := core.InferCtx(startCtx, ds, core.Options{Sanitize: true, Workers: *workers})
 	data := apiserver.Build(res)
+	startSpan.End()
 	log.Printf("asrankd: inferred %d links (clique %v) in %s",
 		len(res.Rels), res.Clique, time.Since(start).Round(time.Millisecond))
 
 	api := &http.Server{
-		Addr:         *listen,
-		Handler:      apiserver.LogRequests(apiserver.NewHandler(data)),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 30 * time.Second,
+		Addr:              *listen,
+		Handler:           apiserver.LogRequests(apiserver.NewHandlerTraced(data, obs.Default(), tracer)),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
 	}
 
 	// The debug listener is deliberately separate from the API address:
 	// /metrics and pprof never share a port (or timeouts — CPU profiles
-	// stream for longer than any API response) with user traffic.
+	// and live trace captures stream for longer than any API response,
+	// so the debug server sets only ReadHeaderTimeout, never a write
+	// timeout) with user traffic.
 	var debug *http.Server
+	stopPoll := make(chan struct{})
+	defer close(stopPoll)
 	if *debugListen != "" {
+		obs.NewRuntimeMetrics(obs.Default()).Start(0, stopPoll)
 		dmux := http.NewServeMux()
 		dmux.Handle("GET /metrics", obs.Default().Handler())
 		dmux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -98,7 +124,13 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		debug = &http.Server{Addr: *debugListen, Handler: dmux}
+		dmux.Handle("GET /debug/trace", trace.CaptureHandler(tracer))
+		dmux.Handle("GET /debug/flight", trace.FlightHandler(tracer))
+		debug = &http.Server{
+			Addr:              *debugListen,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		//lint:ignore noderivedgo debug listener lives for the process lifetime, not a bounded fan-out
 		go func() {
 			log.Printf("asrankd: debug surface on http://%s/metrics", *debugListen)

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,6 +22,8 @@ import (
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/trace"
+	"github.com/asrank-go/asrank/internal/tracecli"
 )
 
 func main() {
@@ -43,6 +46,7 @@ func main() {
 		chaosSeed   = flag.Int64("chaos-seed", 0, "inject deterministic faults into replay dials (0 = off)")
 		chaosFaults = flag.Int("chaos-faults", 16, "fault budget when -chaos-seed is set (0 = unlimited)")
 		stats       = flag.Bool("stats", false, "print the metrics report to stderr after replay")
+		traceFile   = flag.String("trace", "", "write a Chrome trace_event JSON span trace here (open in Perfetto)")
 	)
 	flag.Parse()
 	if *topoFile == "" {
@@ -69,10 +73,16 @@ func main() {
 		PrivateLeakRate:  *leak,
 		CommunityDocFrac: *docs,
 	}
+	tr := tracecli.Start(*traceFile, "bgpsim.run")
+	tr.Root().SetAttrInt("seed", *seed)
+	tr.Root().SetAttrInt("vps", int64(*vps))
+	_, propSpan := trace.StartSpan(tr.Context(), "bgpsim.propagate")
 	res, err := bgpsim.Run(topo, opts)
 	if err != nil {
 		fatal(err)
 	}
+	propSpan.SetAttrInt("paths", int64(res.Dataset.NumPaths()))
+	propSpan.End()
 	fmt.Fprintf(os.Stderr, "propagated routes: %d paths from %d VPs (%d partial)\n",
 		res.Dataset.NumPaths(), len(res.VPs), len(res.PartialVPs))
 
@@ -94,7 +104,7 @@ func main() {
 					inj.FaultsInjected(), *chaosSeed)
 			}()
 		}
-		if err := collectorpkg.ReplayAll(*replay, res, ropts); err != nil {
+		if err := collectorpkg.ReplayAllCtx(tr.Context(), *replay, res, ropts); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "replayed %d VP sessions into %s\n", len(res.VPs), *replay)
@@ -103,6 +113,7 @@ func main() {
 				fatal(err)
 			}
 		}
+		finishTrace(tr, *stats)
 		return
 	}
 
@@ -123,6 +134,18 @@ func main() {
 		err = fmt.Errorf("unknown format %q", *format)
 	}
 	if err != nil {
+		fatal(err)
+	}
+	finishTrace(tr, *stats)
+}
+
+// finishTrace writes the -trace file (tree to stderr too when -stats).
+func finishTrace(tr *tracecli.Run, stats bool) {
+	var tree io.Writer
+	if stats {
+		tree = os.Stderr
+	}
+	if err := tr.Finish(tree); err != nil {
 		fatal(err)
 	}
 }

@@ -10,6 +10,15 @@
 // collected path corpus and exits. Feed it with:
 //
 //	bgpsim -topo topo.txt -replay 127.0.0.1:1790
+//
+// With -debug-listen, a second listener serves the same operational
+// surfaces as asrankd:
+//
+//	collector -listen 127.0.0.1:1790 -debug-listen 127.0.0.1:6061
+//	curl http://127.0.0.1:6061/metrics                           # Prometheus text format
+//	curl http://127.0.0.1:6061/debug/trace?sec=10 > trace.json   # live session spans
+//	curl http://127.0.0.1:6061/debug/flight > flight.json        # flight-recorder dump
+//	go tool pprof http://127.0.0.1:6061/debug/pprof/profile
 package main
 
 import (
@@ -17,13 +26,17 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/asrank-go/asrank/internal/collector"
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 func main() {
@@ -35,11 +48,20 @@ func main() {
 		malformed = flag.String("malformed", "teardown", "malformed-UPDATE policy: teardown or skip")
 		hold      = flag.Uint("hold", 0, "advertised hold time in seconds (0 = default)")
 		stats     = flag.Bool("stats", false, "print the metrics report to stderr on shutdown")
+
+		debugListen = flag.String("debug-listen", "", "serve /metrics, /debug/pprof/, /debug/trace, and /debug/flight on this address (off when empty)")
 	)
 	flag.Parse()
 	policy, err := collector.ParseMalformedPolicy(*malformed)
 	if err != nil {
 		log.Fatalf("collector: %v", err)
+	}
+
+	// As in asrankd, the tracer exists only when the debug surface does:
+	// session spans are read back through /debug/trace and /debug/flight.
+	var tracer *trace.Tracer
+	if *debugListen != "" {
+		tracer = trace.New(trace.Options{})
 	}
 
 	var arch io.Writer
@@ -57,11 +79,43 @@ func main() {
 		Archive:   arch,
 		Malformed: policy,
 		Logf:      log.Printf,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		log.Fatalf("collector: %v", err)
 	}
 	log.Printf("collector: listening on %s (AS%d)", srv.Addr(), *localAS)
+
+	// Debug surface: same layout (and same timeout posture — only
+	// ReadHeaderTimeout, never a write timeout, so pprof profiles and
+	// live trace captures can stream) as asrankd's -debug-listen.
+	var debug *http.Server
+	stopPoll := make(chan struct{})
+	defer close(stopPoll)
+	if *debugListen != "" {
+		obs.NewRuntimeMetrics(obs.Default()).Start(0, stopPoll)
+		dmux := http.NewServeMux()
+		dmux.Handle("GET /metrics", obs.Default().Handler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("GET /debug/trace", trace.CaptureHandler(tracer))
+		dmux.Handle("GET /debug/flight", trace.FlightHandler(tracer))
+		debug = &http.Server{
+			Addr:              *debugListen,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		//lint:ignore noderivedgo debug listener lives for the process lifetime, not a bounded fan-out
+		go func() {
+			log.Printf("collector: debug surface on http://%s/metrics", *debugListen)
+			if err := debug.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("collector: debug listener: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -69,6 +123,9 @@ func main() {
 	log.Printf("collector: shutting down")
 	if err := srv.Close(); err != nil {
 		log.Printf("collector: close: %v", err)
+	}
+	if debug != nil {
+		debug.Close()
 	}
 	sessions, updates := srv.Stats()
 	log.Printf("collector: %d sessions, %d updates", sessions, updates)

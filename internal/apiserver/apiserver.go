@@ -22,6 +22,7 @@ import (
 	"github.com/asrank-go/asrank/internal/core"
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 // Data is the immutable, precomputed view the handlers serve.
@@ -107,10 +108,18 @@ func NewHandler(d *Data) http.Handler {
 // metrics recorded into reg — injectable so tests can assert on a
 // fresh registry.
 func NewHandlerWith(d *Data, reg *obs.Registry) http.Handler {
+	return NewHandlerTraced(d, reg, nil)
+}
+
+// NewHandlerTraced is NewHandlerWith plus request tracing: when tr is
+// non-nil every route is wrapped in TraceRequests (outermost, so the
+// span covers the metrics middleware too) and requests join incoming
+// W3C traceparent contexts.
+func NewHandlerTraced(d *Data, reg *obs.Registry, tr *trace.Tracer) http.Handler {
 	m := NewMetrics(reg)
 	mux := http.NewServeMux()
 	handle := func(route string, h http.HandlerFunc) {
-		mux.Handle("GET "+route, m.Wrap(route, h))
+		mux.Handle("GET "+route, TraceRequests(tr, route, m.Wrap(route, h)))
 	}
 	handle("/api/v1/health", d.handleHealth)
 	handle("/api/v1/clique", d.handleClique)

@@ -1,0 +1,36 @@
+package apiserver
+
+import (
+	"net/http"
+
+	"github.com/asrank-go/asrank/internal/trace"
+)
+
+// TraceRequests wraps one route's handler in a trace middleware: each
+// request records an "http.request" span (route/method/status/bytes
+// attributes) under tr. An incoming W3C traceparent header joins the
+// caller's trace as a remote parent, and the response always carries
+// this span's traceparent so a client can correlate its own spans with
+// the server's flight recorder. A nil tr keeps the route uninstrumented
+// at nil-check cost.
+func TraceRequests(tr *trace.Tracer, route string, next http.Handler) http.Handler {
+	if tr == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if id, span, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx = trace.ContextWithRemote(ctx, id, span)
+		}
+		ctx, span := tr.StartSpan(ctx, "http.request")
+		defer span.End()
+		span.SetAttr("route", route)
+		span.SetAttr("method", r.Method)
+		w.Header().Set("traceparent", trace.Traceparent(span))
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.SetAttrInt("status", int64(sw.Status()))
+		span.SetAttrInt("bytes", int64(sw.bytes))
+		span.SetAttr("class", statusClass(sw.Status()))
+	})
+}

@@ -19,6 +19,7 @@ package collector
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"github.com/asrank-go/asrank/internal/mrt"
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 // MalformedPolicy selects what a session does with an UPDATE that
@@ -90,6 +92,9 @@ type Options struct {
 	Malformed MalformedPolicy
 	// Registry receives the degradation counters (default obs.Default()).
 	Registry *obs.Registry
+	// Tracer, when non-nil, records a "collector.session" span per BGP
+	// session (peer ASN, updates consumed, malformed events).
+	Tracer *trace.Tracer
 	// Logf, when non-nil, receives session lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -261,6 +266,11 @@ func (s *Server) acceptLoop() {
 // serve runs one BGP session to completion.
 func (s *Server) serve(conn net.Conn) error {
 	defer conn.Close()
+	// Each session is its own trace root: sessions arrive over the wire
+	// with no local parent (replay-side spans live in the speaker's
+	// process).
+	_, span := s.opts.Tracer.StartSpan(context.Background(), "collector.session")
+	defer span.End()
 	deadline := time.Duration(s.opts.HoldTime) * time.Second
 	br := bufio.NewReader(conn)
 
@@ -308,6 +318,8 @@ func (s *Server) serve(conn net.Conn) error {
 		return err
 	}
 	as4 := peer.FourByteAS // we always offer it; effective iff both do
+	span.SetAttrInt("peer_asn", int64(peer.ASN))
+	span.SetAttrInt("resume", int64(binary.BigEndian.Uint32(resume[:])))
 	s.opts.Logf("collector: session up with AS%d (%v, as4=%v, resume=%d)",
 		peer.ASN, conn.RemoteAddr(), as4, binary.BigEndian.Uint32(resume[:]))
 
@@ -332,6 +344,8 @@ func (s *Server) serve(conn net.Conn) error {
 		case bgp.MsgUpdate:
 			upd, err := bgp.ParseUpdateBody(body, as4)
 			if err != nil {
+				span.AddEvent("collector.malformed",
+					trace.String("policy", s.opts.Malformed.String()))
 				if s.opts.Malformed == MalformedSkip {
 					// Treat-as-withdraw spirit: drop this update's
 					// routes, count the loss, keep the session — and
@@ -357,6 +371,7 @@ func (s *Server) serve(conn net.Conn) error {
 			if msg, err := bgp.EncodeNotificationData(bgp.NotifCease, 0, ack[:]); err == nil {
 				conn.Write(msg) //nolint:errcheck // best-effort; the speaker retries on a lost ack
 			}
+			span.SetAttrInt("consumed", int64(binary.BigEndian.Uint32(ack[:])))
 			return nil
 		default:
 			return fmt.Errorf("unexpected message type %d from AS%d", typ, peer.ASN)

@@ -2,6 +2,7 @@ package collector
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -13,8 +14,10 @@ import (
 
 	"github.com/asrank-go/asrank/internal/bgp"
 	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/chaos"
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/pool"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 // ReplayOptions configures one replay session.
@@ -87,12 +90,27 @@ func (o ReplayOptions) withDefaults(vp uint32) ReplayOptions {
 // so no prefix is duplicated or lost across retries. It is the client
 // half of the collector: simulator → BGP over TCP → collector.
 func Replay(addr string, res *bgpsim.Result, vp uint32, opts ReplayOptions) error {
+	return ReplayCtx(context.Background(), addr, res, vp, opts)
+}
+
+// ReplayCtx is Replay with a context for tracing: when ctx carries a
+// span, the session records a "replay.vp" span (vp/updates attributes)
+// with one "replay.attempt" child per dial. A failed attempt carries a
+// "replay.error" event; an attempt killed by an injected fault
+// additionally carries a "chaos.fault" event naming the fault kind and
+// operation ordinal, so a chaos run's trace shows exactly which fault
+// hit which vantage point.
+func ReplayCtx(ctx context.Context, addr string, res *bgpsim.Result, vp uint32, opts ReplayOptions) error {
 	opts = opts.withDefaults(vp)
 	m := newReplayMetrics(opts.Registry)
+	ctx, span := trace.StartSpan(ctx, "replay.vp")
+	defer span.End()
+	span.SetAttrInt("vp", int64(vp))
 	msgs, err := buildAnnouncements(res, vp, opts)
 	if err != nil {
 		return fmt.Errorf("replay: AS%d: %w", vp, err)
 	}
+	span.SetAttrInt("updates", int64(len(msgs)))
 
 	// Jitter is deterministic per VP so chaos runs stay reproducible.
 	rng := rand.New(rand.NewSource(int64(vp)*0x9e3779b9 + 1))
@@ -108,11 +126,25 @@ func Replay(addr string, res *bgpsim.Result, vp uint32, opts ReplayOptions) erro
 				backoff = opts.RetryMax
 			}
 		}
+		_, aspan := trace.StartSpan(ctx, "replay.attempt")
+		aspan.SetAttrInt("attempt", int64(attempt))
 		err := replayOnce(addr, vp, msgs, opts, m)
 		if err == nil {
 			m.attempts.With("ok").Inc()
+			aspan.End()
 			return nil
 		}
+		var fe *chaos.FaultError
+		if errors.As(err, &fe) {
+			// On the VP span (not just the attempt) so a per-VP view is
+			// self-contained: this vantage point was hit by chaos.
+			span.AddEvent("chaos.fault",
+				trace.String("kind", fe.Kind.String()),
+				trace.Int("op", int64(fe.Op)),
+				trace.Int("attempt", int64(attempt)))
+		}
+		aspan.AddEvent("replay.error", trace.String("error", err.Error()))
+		aspan.End()
 		m.attempts.With("error").Inc()
 		lastErr = err
 	}
@@ -287,18 +319,29 @@ func resumeOffset(open *bgp.Open) int {
 // first — so a chaos run's report names each vantage point that never
 // settled.
 func ReplayAll(addr string, res *bgpsim.Result, opts ReplayOptions) error {
+	return ReplayAllCtx(context.Background(), addr, res, opts)
+}
+
+// ReplayAllCtx is ReplayAll with a context for tracing: when ctx
+// carries a span, the fan-out records a "replay.all" span whose
+// per-chunk pool.task children (one per VP) parent the "replay.vp"
+// spans across the worker goroutines.
+func ReplayAllCtx(ctx context.Context, addr string, res *bgpsim.Result, opts ReplayOptions) error {
 	n := len(res.VPs)
 	if n == 0 {
 		return nil
 	}
+	ctx, span := trace.StartSpan(ctx, "replay.all")
+	defer span.End()
+	span.SetAttrInt("vps", int64(n))
 	workers := pool.Resolve(opts.Workers)
 	if workers > n {
 		workers = n
 	}
 	errs := make([]error, n)
-	pool.Chunks(workers, n, 1, func(lo, hi int) {
+	pool.ChunksCtx(ctx, workers, n, 1, func(ctx context.Context, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			errs[i] = Replay(addr, res, res.VPs[i], opts)
+			errs[i] = ReplayCtx(ctx, addr, res, res.VPs[i], opts)
 		}
 	})
 	return errors.Join(errs...)

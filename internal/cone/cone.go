@@ -22,6 +22,7 @@
 package cone
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/pool"
 	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 // Sets maps each AS to its cone membership set (which includes the AS
@@ -160,8 +162,9 @@ func PrefixCounts(ds *paths.Dataset) map[uint32]int {
 type Relations struct {
 	rel     map[paths.Link]topology.Relationship
 	idx     *asindex.Index
-	custIdx [][]int32 // provider position → customer positions, ascending
-	workers int       // worker-pool size; <= 0 selects GOMAXPROCS
+	custIdx [][]int32       // provider position → customer positions, ascending
+	workers int             // worker-pool size; <= 0 selects GOMAXPROCS
+	ctx     context.Context // trace-span parent for builds; nil = background
 
 	mu      sync.Mutex
 	recBits *BitSets
@@ -221,6 +224,25 @@ func (r *Relations) WithWorkers(n int) *Relations {
 	return r
 }
 
+// WithContext sets the context cone builds start their trace spans
+// from and returns r for chaining (like WithWorkers, this tunes
+// observability, never what is computed). When the context carries a
+// trace span, each uncached build records a "cone.build" span (engine
+// attribute: recursive/bgp/pp) with closure/credit/merge children and
+// per-shard pool.task spans.
+func (r *Relations) WithContext(ctx context.Context) *Relations {
+	r.ctx = ctx
+	return r
+}
+
+// buildCtx returns the span-parent context for build work.
+func (r *Relations) buildCtx() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
 // Rel returns the relationship of x relative to y (P2C: x provides to y).
 func (r *Relations) Rel(x, y uint32) topology.Relationship {
 	rel, ok := r.rel[paths.NewLink(x, y)]
@@ -260,7 +282,10 @@ func (r *Relations) RecursiveBits() *BitSets {
 	if r.recBits == nil {
 		coneMemo.With("recursive", "miss").Inc()
 		t0 := time.Now()
-		r.recBits = r.computeRecursiveBits()
+		ctx, span := trace.StartSpan(r.buildCtx(), "cone.build")
+		span.SetAttr("engine", "recursive")
+		r.recBits = r.computeRecursiveBits(ctx)
+		span.End()
 		coneBuildDuration.With("recursive").ObserveSince(t0)
 	} else {
 		coneMemo.With("recursive", "hit").Inc()
@@ -273,10 +298,13 @@ func (r *Relations) RecursiveBits() *BitSets {
 // reverse topological order; cyclic inputs — possible when indexing an
 // arbitrary relationship file — fall back to an independent DFS per AS,
 // sharded across the worker pool.
-func (r *Relations) computeRecursiveBits() *BitSets {
+func (r *Relations) computeRecursiveBits(ctx context.Context) *BitSets {
 	n := r.idx.Len()
 	cones := asindex.NewBitsets(n, n)
+	closureCtx, closureSpan := trace.StartSpan(ctx, "cone.closure")
+	defer closureSpan.End()
 	if order, acyclic := r.reverseTopo(); acyclic {
+		closureSpan.SetAttr("order", "kahn")
 		for _, x := range order {
 			b := cones[x]
 			b.Set(x)
@@ -285,7 +313,8 @@ func (r *Relations) computeRecursiveBits() *BitSets {
 			}
 		}
 	} else {
-		pool.Chunks(r.workers, n, 64, func(lo, hi int) {
+		closureSpan.SetAttr("order", "dfs")
+		pool.ChunksCtx(closureCtx, r.workers, n, 64, func(_ context.Context, lo, hi int) {
 			var stack []int32
 			for i := lo; i < hi; i++ {
 				b := cones[i]
@@ -405,7 +434,11 @@ func (r *Relations) observedBitsCached(ds *paths.Dataset, needEntry bool) *BitSe
 	if !ok {
 		coneMemo.With(engine, "miss").Inc()
 		t0 := time.Now()
-		b = r.observedBits(ds, needEntry)
+		ctx, span := trace.StartSpan(r.buildCtx(), "cone.build")
+		span.SetAttr("engine", engine)
+		span.SetAttrInt("paths", int64(len(ds.Paths)))
+		b = r.observedBits(ctx, ds, needEntry)
+		span.End()
 		coneBuildDuration.With(engine).ObserveSince(t0)
 		if r.obsBits == nil {
 			r.obsBits = make(map[obsKey]*BitSets)
@@ -439,10 +472,11 @@ func (r *Relations) observedSetsCached(ds *paths.Dataset, needEntry bool) Sets {
 // descending chains into per-shard cone accumulators, and merges the
 // shards in fixed shard order so the result is independent of worker
 // scheduling.
-func (r *Relations) observedBits(ds *paths.Dataset, needEntry bool) *BitSets {
+func (r *Relations) observedBits(ctx context.Context, ds *paths.Dataset, needEntry bool) *BitSets {
 	n := r.idx.Len()
 	shards := make([][]asindex.Bitset, pool.NumShards(r.workers, len(ds.Paths)))
-	pool.Range(r.workers, len(ds.Paths), func(shard, lo, hi int) {
+	creditCtx, creditSpan := trace.StartSpan(ctx, "cone.credit")
+	pool.RangeCtx(creditCtx, r.workers, len(ds.Paths), func(_ context.Context, shard, lo, hi int) {
 		local := make([]asindex.Bitset, n)
 		var scratch chainScratch
 		for _, p := range ds.Paths[lo:hi] {
@@ -450,8 +484,11 @@ func (r *Relations) observedBits(ds *paths.Dataset, needEntry bool) *BitSets {
 		}
 		shards[shard] = local
 	})
+	creditSpan.End()
 	cones := asindex.NewBitsets(n, n)
-	pool.Chunks(r.workers, n, 64, func(lo, hi int) {
+	mergeCtx, mergeSpan := trace.StartSpan(ctx, "cone.merge")
+	defer mergeSpan.End()
+	pool.ChunksCtx(mergeCtx, r.workers, n, 64, func(_ context.Context, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			b := cones[i]
 			for _, local := range shards {

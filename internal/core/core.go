@@ -20,11 +20,13 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 // Step identifies which pipeline stage labeled a link.
@@ -228,21 +230,35 @@ func (r *Result) CountsByStep() []StepCounts {
 
 // Infer runs the full pipeline over a path corpus.
 func Infer(ds *paths.Dataset, opts Options) *Result {
+	return InferCtx(context.Background(), ds, opts)
+}
+
+// InferCtx is Infer with a context for tracing: when ctx carries a
+// span, the run records a "core.infer" span with one child per
+// pipeline step (core.infer.rank, core.infer.top_down, ...) carrying
+// the links each step labeled as attributes — the trace-side view of
+// the per-step metrics.
+func InferCtx(ctx context.Context, ds *paths.Dataset, opts Options) *Result {
 	opts = opts.withDefaults()
 	t0 := time.Now()
 	inferRuns.Inc()
+	ctx, span := trace.StartSpan(ctx, "core.infer")
+	defer span.End()
+	span.SetAttrInt("paths", int64(len(ds.Paths)))
 	var st paths.SanitizeStats
 	if opts.Sanitize {
 		s0 := time.Now()
-		ds, st = paths.Sanitize(ds, paths.SanitizeOptions{IXPASes: opts.IXPASes, Workers: opts.Workers})
+		sctx, sspan := trace.StartSpan(ctx, "core.infer.sanitize")
+		ds, st = paths.SanitizeCtx(sctx, ds, paths.SanitizeOptions{IXPASes: opts.IXPASes, Workers: opts.Workers})
+		sspan.End()
 		inferStepDuration.With("sanitize").ObserveSince(s0)
 	}
-	res := inferSanitized(ds, opts, st)
+	res := inferSanitized(ctx, ds, opts, st)
 	inferDuration.ObserveSince(t0)
 	return res
 }
 
-func inferSanitized(ds *paths.Dataset, opts Options, sanStats paths.SanitizeStats) *Result {
+func inferSanitized(ctx context.Context, ds *paths.Dataset, opts Options, sanStats paths.SanitizeStats) *Result {
 	res := &Result{
 		Rels:          make(map[paths.Link]topology.Relationship),
 		Steps:         make(map[paths.Link]Step),
@@ -250,28 +266,33 @@ func inferSanitized(ds *paths.Dataset, opts Options, sanStats paths.SanitizeStat
 	}
 
 	// stage wraps one pipeline step with per-step duration and
-	// links-labeled metrics; the labeled watermark attributes each new
-	// entry in res.Steps to the stage that created it.
+	// links-labeled metrics plus a trace span; the labeled watermark
+	// attributes each new entry in res.Steps to the stage that created
+	// it. spanName is a literal at every call site so the obsnames
+	// analyzer can vet it.
 	labeled := 0
-	stage := func(step string, fn func()) {
+	stage := func(spanName, step string, fn func()) {
+		_, span := trace.StartSpan(ctx, spanName)
 		t0 := time.Now()
 		fn()
 		inferStepDuration.With(step).ObserveSince(t0)
 		if n := len(res.Steps); n > labeled {
 			inferStepLinks.With(step).Add(uint64(n - labeled))
+			span.SetAttrInt("links_labeled", int64(n-labeled))
 			labeled = n
 		}
+		span.End()
 	}
 
 	// Step 2: ranking.
-	stage("rank", func() {
+	stage("core.infer.rank", "rank", func() {
 		res.TransitDegree = ds.TransitDegrees()
 		res.Degree = ds.Degrees()
 		res.Rank = rankASes(ds, res.TransitDegree, res.Degree)
 	})
 
 	// Step 3: clique.
-	stage("clique", func() {
+	stage("core.infer.clique", "clique", func() {
 		if opts.Clique != nil {
 			res.Clique = append([]uint32(nil), opts.Clique...)
 			sort.Slice(res.Clique, func(i, j int) bool { return res.Clique[i] < res.Clique[j] })
@@ -280,21 +301,27 @@ func inferSanitized(ds *paths.Dataset, opts Options, sanStats paths.SanitizeStat
 		}
 	})
 	inferCliqueSize.Set(float64(len(res.Clique)))
+	if root := trace.FromContext(ctx); root != nil {
+		root.SetAttrInt("clique_size", int64(len(res.Clique)))
+	}
 	cliqueSet := make(map[uint32]bool, len(res.Clique))
 	for _, c := range res.Clique {
 		cliqueSet[c] = true
 	}
 
 	// Step 4: discard poisoned paths.
-	stage("poison", func() {
+	stage("core.infer.poison", "poison", func() {
 		ds, res.PoisonedPaths = discardPoisoned(ds, cliqueSet)
 		res.Dataset = ds
 	})
 	inferPoisoned.Add(uint64(res.PoisonedPaths))
+	if root := trace.FromContext(ctx); root != nil {
+		root.SetAttrInt("poisoned_paths", int64(res.PoisonedPaths))
+	}
 
 	// Label intra-clique links p2p.
 	var links map[paths.Link]int
-	stage("clique-p2p", func() {
+	stage("core.infer.clique_p2p", "clique-p2p", func() {
 		links = ds.Links()
 		for l := range links {
 			if cliqueSet[l.A] && cliqueSet[l.B] {
@@ -306,15 +333,15 @@ func inferSanitized(ds *paths.Dataset, opts Options, sanStats paths.SanitizeStat
 
 	inf := newInferencer(ds, opts, res, cliqueSet, links)
 	if !opts.DisableProviderless {
-		stage("providerless", inf.detectProviderless)
+		stage("core.infer.providerless", "providerless", inf.detectProviderless)
 	}
-	stage("top-down", inf.topDown)       // step 5
-	stage("vp", inf.vpPass)              // step 6
-	stage("stub-clique", inf.stubClique) // step 7
+	stage("core.infer.top_down", "top-down", inf.topDown)          // step 5
+	stage("core.infer.vp", "vp", inf.vpPass)                       // step 6
+	stage("core.infer.stub_clique", "stub-clique", inf.stubClique) // step 7
 	if !opts.DisableFold {
-		stage("fold", inf.fold) // step 8
+		stage("core.infer.fold", "fold", inf.fold) // step 8
 	}
-	stage("peer-default", inf.peerRest) // step 9
+	stage("core.infer.peer_default", "peer-default", inf.peerRest) // step 9
 	return res
 }
 

@@ -27,10 +27,22 @@ import (
 // moves the failure to `make lint`, before a process ever scrapes.
 // Registrations in _test.go files are exempt (tests exercise the
 // registry itself, including its panics on bad names).
+//
+// The same analyzer covers span names handed to trace.StartSpan (the
+// Tracer method and the package-level function alike): a literal name
+// must be two or more dot-separated lower_snake segments
+// (subsystem.operation..., e.g. core.infer.rank), and a name built at
+// the call site from runtime data — string concatenation or
+// fmt.Sprint* — is flagged as a cardinality bomb: per-entity span
+// names shatter trace aggregation, so variable data belongs in
+// SetAttr, not the name. A plain variable is allowed (helpers such as
+// core's stage() take the literal at their own call site, where this
+// analyzer still sees it as greppable text).
 var ObsNames = &analysis.Analyzer{
 	Name: "obsnames",
 	Doc: "statically checks obs metric and label name literals against " +
-		"the Prometheus grammar and the asrank_<subsystem>_... house style",
+		"the Prometheus grammar and the asrank_<subsystem>_... house style, " +
+		"and trace span name literals against the dot-separated lower_snake grammar",
 	Run: runObsNames,
 }
 
@@ -44,6 +56,10 @@ var (
 		"Gauge": "gauge", "GaugeVec": "gauge",
 		"Histogram": "histogram", "HistogramVec": "histogram",
 	}
+
+	// Span names: subsystem.operation[...], each segment lower_snake.
+	spanSegRe  = regexp.MustCompile(`^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$`)
+	spanNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(?:_[a-z0-9]+)*(?:\.[a-z][a-z0-9]*(?:_[a-z0-9]+)*)+$`)
 )
 
 func runObsNames(pass *analysis.Pass) error {
@@ -54,6 +70,10 @@ func runObsNames(pass *analysis.Pass) error {
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {
+			return
+		}
+		if sel.Sel.Name == "StartSpan" && isTraceFunc(pass.TypesInfo, sel) && len(call.Args) >= 2 {
+			checkSpanName(pass, call.Args[1])
 			return
 		}
 		kind, ok := constructor[sel.Sel.Name]
@@ -172,6 +192,56 @@ func checkHelp(pass *analysis.Pass, arg ast.Expr) {
 	if strings.TrimSpace(help) == "" {
 		pass.Reportf(arg.Pos(), "metric help string must not be empty")
 	}
+}
+
+// isTraceFunc reports whether the selected function or method is
+// defined by a package named trace — covering both (*trace.Tracer).
+// StartSpan and the package-level trace.StartSpan, and excluding
+// same-named methods on unrelated types.
+func isTraceFunc(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "trace" || strings.HasSuffix(path, "/trace")
+}
+
+func checkSpanName(pass *analysis.Pass, arg ast.Expr) {
+	arg = ast.Unparen(arg)
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		name, ok := stringLit(e)
+		if !ok {
+			return
+		}
+		switch {
+		case spanNameRe.MatchString(name):
+			// conforming
+		case spanSegRe.MatchString(name):
+			pass.Reportf(arg.Pos(),
+				"span name %q is too flat: want <subsystem>.<operation>... (>= 2 dot-separated segments)", name)
+		default:
+			pass.Reportf(arg.Pos(),
+				"span name %q breaks the house style: dot-separated lower_snake segments (e.g. core.infer.rank)", name)
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			pass.Reportf(arg.Pos(),
+				"span name built by string concatenation is a cardinality bomb: use a constant name and attach variable data with SetAttr")
+		}
+	case *ast.CallExpr:
+		if fsel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[fsel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Sprint") {
+				pass.Reportf(arg.Pos(),
+					"span name built by fmt.%s is a cardinality bomb: use a constant name and attach variable data with SetAttr", fn.Name())
+			}
+		}
+	}
+	// Anything else (a variable, a named constant, a helper's parameter)
+	// defeats static checking but is legal: the literal is checked where
+	// it is written.
 }
 
 func checkLabel(pass *analysis.Pass, arg ast.Expr) {

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReportGroupsAndFormats(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("asrank_pool_tasks_total", "h").Add(7)
+	reg.Gauge("asrank_pool_queue_depth", "h").Set(2.5)
+	reg.CounterVec("asrank_infer_links_total", "h", "step").With("rank").Add(3)
+	h := reg.Histogram("asrank_infer_step_duration_seconds", "h", DurationBuckets)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	empty := reg.Histogram("asrank_infer_idle_seconds", "h", DurationBuckets)
+	_ = empty
+
+	var buf bytes.Buffer
+	if err := reg.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Grouped by the first two underscore tokens, each group headed once.
+	for _, header := range []string{"== asrank_pool ==", "== asrank_infer =="} {
+		if c := strings.Count(out, header); c != 1 {
+			t.Errorf("header %q appears %d times:\n%s", header, c, out)
+		}
+	}
+	// Counter renders its integer value; gauge its float; labeled series
+	// carry the Prometheus-style suffix.
+	for _, want := range []string{
+		"asrank_pool_tasks_total",
+		"7",
+		"2.5",
+		`asrank_infer_links_total{step="rank"}`,
+		"count=2 total=2s mean=1s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Group members must appear under their header, not scattered: the
+	// pool header precedes pool series, and no pool series follows the
+	// infer header.
+	inferAt := strings.Index(out, "== asrank_infer ==")
+	poolAt := strings.Index(out, "== asrank_pool ==")
+	taskAt := strings.Index(out, "asrank_pool_tasks_total")
+	if !(poolAt < taskAt) {
+		t.Errorf("pool series before its header:\n%s", out)
+	}
+	if inferAt > poolAt && taskAt > inferAt {
+		t.Errorf("pool series rendered inside the infer group:\n%s", out)
+	}
+}
+
+func TestWriteReportEmptyHistogramAndRegistry(t *testing.T) {
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "" {
+		t.Errorf("empty registry report = %q, want empty", got)
+	}
+
+	reg.Histogram("asrank_test_zero_seconds", "h", DurationBuckets)
+	buf.Reset()
+	if err := reg.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "count=0") {
+		t.Errorf("empty histogram not rendered as count=0:\n%s", buf.String())
+	}
+}
+
+func TestWriteReportNonSecondsHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("asrank_test_sizes_bytes", "h", ExpBuckets(1, 2, 8))
+	h.Observe(10)
+	h.Observe(30)
+	var buf bytes.Buffer
+	if err := reg.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Non-_seconds histograms format totals as plain numbers.
+	if !strings.Contains(buf.String(), "count=2 total=40 mean=20") {
+		t.Errorf("byte histogram summary wrong:\n%s", buf.String())
+	}
+}
+
+func TestSubsystemOf(t *testing.T) {
+	cases := map[string]string{
+		"asrank_pool_tasks_total": "asrank_pool",
+		"asrank_infer_runs":       "asrank_infer",
+		"short_name":              "short_name",
+		"plain":                   "plain",
+	}
+	for in, want := range cases {
+		if got := subsystemOf(in); got != want {
+			t.Errorf("subsystemOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLabelSuffix(t *testing.T) {
+	if got := labelSuffix(nil, nil); got != "" {
+		t.Errorf("labelSuffix(nil) = %q", got)
+	}
+	got := labelSuffix([]string{"a", "b"}, []string{"x", "y"})
+	if got != `{a="x",b="y"}` {
+		t.Errorf("labelSuffix = %q", got)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		2.5:      "2.5s",
+		0.002:    "2ms",
+		0.000004: "4µs",
+	}
+	for in, want := range cases {
+		if got := formatSeconds(in); got != want {
+			t.Errorf("formatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

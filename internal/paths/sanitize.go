@@ -1,10 +1,12 @@
 package paths
 
 import (
+	"context"
 	"time"
 
 	"github.com/asrank-go/asrank/internal/asn"
 	"github.com/asrank-go/asrank/internal/pool"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 // SanitizeOptions controls the sanitization pass.
@@ -50,6 +52,17 @@ type SanitizeStats struct {
 // Duplicates with each kept row attributable to the corpus that
 // inference actually sees.
 func Sanitize(ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
+	return SanitizeCtx(context.Background(), ds, opts)
+}
+
+// SanitizeCtx is Sanitize with a context for tracing: when ctx carries
+// a span, the pass records a "paths.sanitize" span with per-stage
+// children ("paths.sanitize.clean" fans per-shard pool.task spans
+// across the worker goroutines; "paths.sanitize.sweep" is the
+// sequential bookkeeping walk) and input/kept counts as attributes.
+func SanitizeCtx(ctx context.Context, ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
+	ctx, span := trace.StartSpan(ctx, "paths.sanitize")
+	defer span.End()
 	t0 := time.Now()
 	stats := SanitizeStats{Input: len(ds.Paths)}
 	out := &Dataset{Paths: make([]Path, 0, len(ds.Paths))}
@@ -60,13 +73,16 @@ func Sanitize(ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
 		info pathInfo
 	}
 	cleanedPaths := make([]cleanedPath, len(ds.Paths))
-	pool.Range(opts.Workers, len(ds.Paths), func(_, lo, hi int) {
+	cleanCtx, cleanSpan := trace.StartSpan(ctx, "paths.sanitize.clean")
+	pool.RangeCtx(cleanCtx, opts.Workers, len(ds.Paths), func(_ context.Context, _, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			asns, info := sanitizePath(ds.Paths[i].ASNs, opts.IXPASes)
 			cleanedPaths[i] = cleanedPath{asns: asns, info: info}
 		}
 	})
+	cleanSpan.End()
 
+	_, sweepSpan := trace.StartSpan(ctx, "paths.sanitize.sweep")
 	for i, p := range ds.Paths {
 		cleaned, info := cleanedPaths[i].asns, cleanedPaths[i].info
 		switch info {
@@ -98,7 +114,13 @@ func Sanitize(ds *Dataset, opts SanitizeOptions) (*Dataset, SanitizeStats) {
 		}
 		out.Add(np)
 	}
+	sweepSpan.End()
 	stats.Kept = len(out.Paths)
+	if span != nil {
+		span.SetAttrInt("input", int64(stats.Input))
+		span.SetAttrInt("kept", int64(stats.Kept))
+		span.SetAttrInt("duplicates", int64(stats.Duplicates))
+	}
 	stats.record(time.Since(t0))
 	return out, stats
 }

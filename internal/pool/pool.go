@@ -9,15 +9,24 @@
 // (unclaimed chunks across running Chunks calls, approximate when calls
 // overlap), and asrank_pool_task_duration_seconds, whose _sum is total
 // worker-busy time.
+//
+// The Ctx variants additionally carry a context into each task: when it
+// holds a trace span, every shard or chunk executes under a child
+// "pool.task" span started inside the worker goroutine, so trace
+// viewers show fan-out as flow arrows from the submitting span to the
+// worker tracks. Without a span in the context the only extra cost is
+// one ctx.Value probe per task.
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/asrank-go/asrank/internal/obs"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 var (
@@ -48,13 +57,31 @@ func Resolve(workers int) int {
 // boundaries depend only on (workers, n), so shard indices are stable
 // inputs for deterministic merges. It blocks until every shard is done.
 func Range(workers, n int, fn func(shard, lo, hi int)) {
+	RangeCtx(context.Background(), workers, n,
+		func(_ context.Context, shard, lo, hi int) { fn(shard, lo, hi) })
+}
+
+// RangeCtx is Range with a context threaded into each shard. When ctx
+// carries a trace span, each shard runs under a child "pool.task" span
+// (mode/shard/lo/hi attributes) started on the worker goroutine, and
+// the shard context carries that span so nested instrumentation parents
+// correctly across the goroutine hop.
+func RangeCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, shard, lo, hi int)) {
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
 	}
 	run := func(shard, lo, hi int) {
+		tctx, span := trace.StartSpan(ctx, "pool.task")
+		if span != nil {
+			span.SetAttr("mode", "range")
+			span.SetAttrInt("shard", int64(shard))
+			span.SetAttrInt("lo", int64(lo))
+			span.SetAttrInt("hi", int64(hi))
+		}
 		t0 := time.Now()
-		fn(shard, lo, hi)
+		fn(tctx, shard, lo, hi)
+		span.End()
 		poolBusy.ObserveSince(t0)
 		poolRangeTasks.Inc()
 	}
@@ -84,6 +111,14 @@ func Range(workers, n int, fn func(shard, lo, hi int)) {
 // cones among many tiny ones) and whose writes are disjoint, so chunk
 // assignment order does not matter.
 func Chunks(workers, n, chunk int, fn func(lo, hi int)) {
+	ChunksCtx(context.Background(), workers, n, chunk,
+		func(_ context.Context, lo, hi int) { fn(lo, hi) })
+}
+
+// ChunksCtx is Chunks with a context threaded into each chunk. When ctx
+// carries a trace span, each chunk runs under a child "pool.task" span
+// (mode/lo/hi attributes) started on the claiming worker's goroutine.
+func ChunksCtx(ctx context.Context, workers, n, chunk int, fn func(ctx context.Context, lo, hi int)) {
 	workers = Resolve(workers)
 	if chunk < 1 {
 		chunk = 1
@@ -92,13 +127,23 @@ func Chunks(workers, n, chunk int, fn func(lo, hi int)) {
 	if workers > nchunks {
 		workers = nchunks
 	}
+	run := func(lo, hi int) {
+		tctx, span := trace.StartSpan(ctx, "pool.task")
+		if span != nil {
+			span.SetAttr("mode", "chunks")
+			span.SetAttrInt("lo", int64(lo))
+			span.SetAttrInt("hi", int64(hi))
+		}
+		t0 := time.Now()
+		fn(tctx, lo, hi)
+		span.End()
+		poolBusy.ObserveSince(t0)
+	}
 	if workers <= 1 {
 		if n > 0 {
 			poolQueueDepth.Inc()
 			poolQueueDepth.Dec()
-			t0 := time.Now()
-			fn(0, n)
-			poolBusy.ObserveSince(t0)
+			run(0, n)
 			poolChunkTasks.Inc()
 		}
 		return
@@ -121,9 +166,7 @@ func Chunks(workers, n, chunk int, fn func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				t0 := time.Now()
-				fn(lo, hi)
-				poolBusy.ObserveSince(t0)
+				run(lo, hi)
 				executed++
 			}
 			poolChunkTasks.Add(uint64(executed))

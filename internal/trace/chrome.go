@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON array — the
+// format chrome://tracing and Perfetto load natively. We emit:
+//
+//	ph "M" — metadata (process/thread names)
+//	ph "X" — complete events (one per span; ts+dur in microseconds)
+//	ph "i" — instant events (span events, e.g. chaos faults)
+//	ph "s"/"f" — flow start/finish, drawn as arrows linking a parent
+//	             span to a child running on a different goroutine
+//
+// pid is constant (one process); tid is the goroutine ID, so each
+// goroutine renders as its own track and cross-goroutine parenting is
+// visible as flow arrows between tracks.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	Pid   int64          `json:"pid"`
+	Tid   int64          `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePid = 1
+
+// WriteChrome writes spans as Chrome trace_event JSON. Timestamps are
+// microseconds relative to the earliest span so the viewer opens at
+// t=0. Spans may come from Flight() or Capture.Spans().
+func WriteChrome(w io.Writer, spans []*Span) error {
+	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: buildChromeEvents(spans)}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+func buildChromeEvents(spans []*Span) []chromeEvent {
+	events := []chromeEvent{{
+		Name: "process_name", Phase: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "asrank"},
+	}}
+	if len(spans) == 0 {
+		return events
+	}
+	epoch := spans[0].Start
+	for _, s := range spans[1:] {
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	usSince := func(t time.Time) int64 { return t.Sub(epoch).Microseconds() }
+
+	byID := make(map[uint64]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	tids := make(map[int64]bool)
+	for _, s := range spans {
+		tid := int64(s.Goroutine)
+		if !tids[tid] {
+			tids[tid] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", Pid: chromePid, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("goroutine %d", s.Goroutine)},
+			})
+		}
+		dur := s.Dur.Microseconds()
+		if dur < 1 {
+			dur = 1 // zero-width events are invisible in viewers
+		}
+		ts := usSince(s.Start)
+		events = append(events, chromeEvent{
+			Name: s.Name, Phase: "X", Ts: ts, Dur: &dur,
+			Pid: chromePid, Tid: tid, Cat: "span",
+			Args: spanArgs(s),
+		})
+		for _, ev := range s.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Name, Phase: "i", Ts: usSince(ev.Time),
+				Pid: chromePid, Tid: tid, Scope: "t", Cat: "event",
+				Args: attrArgs(ev.Attrs),
+			})
+		}
+		// Flow arrows only where the parent ran on another goroutine:
+		// same-track nesting is already visible from the X events.
+		if p, ok := byID[s.Parent]; ok && p.Goroutine != s.Goroutine {
+			id := fmt.Sprintf("flow%d", s.ID)
+			events = append(events,
+				chromeEvent{
+					Name: s.Name, Phase: "s", Ts: usSince(p.Start),
+					Pid: chromePid, Tid: int64(p.Goroutine), Cat: "flow", ID: id,
+				},
+				chromeEvent{
+					Name: s.Name, Phase: "f", Ts: ts, BP: "e",
+					Pid: chromePid, Tid: tid, Cat: "flow", ID: id,
+				},
+			)
+		}
+	}
+	return events
+}
+
+func spanArgs(s *Span) map[string]any {
+	args := attrArgs(s.Attrs)
+	if args == nil {
+		args = make(map[string]any, 3)
+	}
+	args["trace_id"] = s.Trace.String()
+	args["span_id"] = s.ID
+	if s.Parent != 0 {
+		args["parent_id"] = s.Parent
+	}
+	return args
+}
+
+func attrArgs(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		if a.IsInt {
+			args[a.Key] = a.Int
+		} else {
+			args[a.Key] = a.Str
+		}
+	}
+	return args
+}
+
+// CheckChrome validates Chrome trace_event JSON against the subset of
+// the schema we emit: a traceEvents array whose entries all carry a
+// known ph, name, pid/tid, a ts (except metadata), a dur on complete
+// events, matched s/f flow pairs, and monotone-safe numeric fields.
+// Used by tests and by the -trace writers as a self-check.
+func CheckChrome(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace file is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return errors.New("trace file has no traceEvents array")
+	}
+	flows := make(map[string][2]int) // id -> [starts, finishes]
+	for i, ev := range f.TraceEvents {
+		var ph, name string
+		if err := requireString(ev, "ph", &ph); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if err := requireString(ev, "name", &name); err != nil {
+			return fmt.Errorf("event %d (ph %q): %w", i, ph, err)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("event %d (%s): missing %s", i, name, key)
+			}
+		}
+		switch ph {
+		case "M":
+			// Metadata events carry args.name only.
+		case "X":
+			var dur float64
+			if err := requireNumber(ev, "dur", &dur); err != nil {
+				return fmt.Errorf("event %d (%s): %w", i, name, err)
+			}
+			if dur < 0 {
+				return fmt.Errorf("event %d (%s): negative dur %v", i, name, dur)
+			}
+			fallthrough
+		case "i", "s", "f":
+			var ts float64
+			if err := requireNumber(ev, "ts", &ts); err != nil {
+				return fmt.Errorf("event %d (%s): %w", i, name, err)
+			}
+			if ts < 0 {
+				return fmt.Errorf("event %d (%s): negative ts %v", i, name, ts)
+			}
+			if ph == "s" || ph == "f" {
+				var id string
+				if err := requireString(ev, "id", &id); err != nil {
+					return fmt.Errorf("flow event %d (%s): %w", i, name, err)
+				}
+				c := flows[id]
+				if ph == "s" {
+					c[0]++
+				} else {
+					c[1]++
+				}
+				flows[id] = c
+			}
+		default:
+			return fmt.Errorf("event %d (%s): unknown ph %q", i, name, ph)
+		}
+	}
+	ids := make([]string, 0, len(flows))
+	for id := range flows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if c := flows[id]; c[0] != 1 || c[1] != 1 {
+			return fmt.Errorf("flow %s: %d starts, %d finishes (want 1/1)", id, c[0], c[1])
+		}
+	}
+	return nil
+}
+
+func requireString(ev map[string]json.RawMessage, key string, out *string) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %s", key)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("%s is not a string: %w", key, err)
+	}
+	return nil
+}
+
+func requireNumber(ev map[string]json.RawMessage, key string, out *float64) error {
+	raw, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %s", key)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("%s is not a number: %w", key, err)
+	}
+	return nil
+}

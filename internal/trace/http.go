@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// FlightHandler serves the tracer's flight-recorder ring. Default
+// output is Chrome trace_event JSON (save it, open in Perfetto);
+// ?format=tree renders the human-readable tree instead.
+func FlightHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveSpans(w, r, t.Flight())
+	})
+}
+
+// CaptureHandler records spans live for ?sec=N seconds (default 5,
+// capped at 120) and then serves them — the tracing analogue of
+// /debug/pprof/profile. The wait happens on the request goroutine and
+// aborts early if the client goes away.
+func CaptureHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sec := 5
+		if v := r.URL.Query().Get("sec"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				http.Error(w, "sec must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			sec = n
+		}
+		if sec > 120 {
+			sec = 120
+		}
+		c := t.NewCapture(0)
+		defer c.Stop()
+		timer := time.NewTimer(time.Duration(sec) * time.Second)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-r.Context().Done():
+			return
+		}
+		c.Stop()
+		if d := c.Dropped(); d > 0 {
+			w.Header().Set("X-Trace-Dropped", strconv.Itoa(d))
+		}
+		serveSpans(w, r, c.Spans())
+	})
+}
+
+func serveSpans(w http.ResponseWriter, r *http.Request, spans []*Span) {
+	if r.URL.Query().Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := WriteTree(w, spans); err != nil {
+			return // client gone; nothing useful to do
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	if err := WriteChrome(w, spans); err != nil {
+		return
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled lets tests skip timing assertions that are meaningless
+// under the race detector's instrumentation overhead.
+const raceEnabled = true

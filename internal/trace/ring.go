@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ring is the flight recorder: a fixed array of atomic span slots and a
+// monotonically increasing head. A completed span claims the next slot
+// with a single fetch-add and stores itself with a single atomic
+// pointer write — no locks, no blocking, and readers racing a writer
+// see either the old span or the new one, both fully published (End
+// finishes every field write before the slot store, and the atomic
+// pointer store/load pair gives the happens-before edge).
+type ring struct {
+	slots []atomic.Pointer[Span]
+	head  atomic.Uint64
+}
+
+func newRing(size int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Span], size)}
+}
+
+func (r *ring) add(s *Span) {
+	i := (r.head.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(s)
+}
+
+// snapshot returns the ring's current spans ordered by start time.
+// Under concurrent writes the result is a consistent-enough view for a
+// post-hoc dump: each slot read is atomic, and ordering by Start keeps
+// the output stable regardless of eviction order.
+func (r *ring) snapshot() []*Span {
+	out := make([]*Span, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].Start.Equal(out[b].Start) {
+			return out[a].Start.Before(out[b].Start)
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Traceparent renders the span's context as a W3C traceparent header
+// value (version 00, sampled flag set): 00-<32hex>-<16hex>-01. Returns
+// "" for a nil span so callers can set the header unconditionally.
+func Traceparent(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("00-%s-%016x-01", s.Trace, s.ID)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version byte (per spec, future versions are parsed as 00) and
+// rejects all-zero trace or span IDs.
+func ParseTraceparent(h string) (TraceID, uint64, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return TraceID{}, 0, false
+	}
+	var id TraceID
+	if _, err := hex.Decode(id[:], []byte(strings.ToLower(parts[1]))); err != nil || !id.IsValid() {
+		return TraceID{}, 0, false
+	}
+	var span uint64
+	if _, err := fmt.Sscanf(strings.ToLower(parts[2]), "%016x", &span); err != nil || span == 0 {
+		return TraceID{}, 0, false
+	}
+	return id, span, true
+}

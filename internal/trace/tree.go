@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteTree renders spans as an indented tree for terminal consumption
+// (the -stats companion view). Roots sort by start time; children nest
+// under their parents with durations and attributes inline, events as
+// "!" lines. Spans whose parent is absent (evicted from the ring, or
+// remote) render as roots with a marker.
+func WriteTree(w io.Writer, spans []*Span) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "trace: no spans recorded")
+		return err
+	}
+	children := make(map[uint64][]*Span, len(spans))
+	byID := make(map[uint64]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var roots []*Span
+	for _, s := range spans {
+		if s.Parent != 0 && byID[s.Parent] != nil {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	order := func(list []*Span) {
+		sort.Slice(list, func(a, b int) bool {
+			if !list[a].Start.Equal(list[b].Start) {
+				return list[a].Start.Before(list[b].Start)
+			}
+			return list[a].ID < list[b].ID
+		})
+	}
+	order(roots)
+	for _, list := range children {
+		order(list)
+	}
+	var walk func(s *Span, depth int) error
+	walk = func(s *Span, depth int) error {
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		marker := ""
+		if depth == 0 && s.Parent != 0 {
+			if s.RemoteParent {
+				marker = " (remote parent)"
+			} else {
+				marker = " (parent evicted)"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s%s%s\n",
+			indent, s.Name, formatDur(s.Dur), formatAttrs(s.Attrs), marker); err != nil {
+			return err
+		}
+		for _, ev := range s.Events {
+			if _, err := fmt.Fprintf(w, "%s  ! %s @%s%s\n",
+				indent, ev.Name, formatDur(ev.Time.Sub(s.Start)), formatAttrs(ev.Attrs)); err != nil {
+				return err
+			}
+		}
+		for _, c := range children[s.ID] {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func formatAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	out := " ["
+	for i, a := range attrs {
+		if i > 0 {
+			out += " "
+		}
+		if a.IsInt {
+			out += fmt.Sprintf("%s=%d", a.Key, a.Int)
+		} else {
+			out += fmt.Sprintf("%s=%s", a.Key, a.Str)
+		}
+	}
+	return out + "]"
+}
