@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint bench metrics-lint fuzz-smoke trace-demo
+.PHONY: build test check lint bench bench-api metrics-lint fuzz-smoke trace-demo
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,27 @@ lint:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# API read-path benchmark (DESIGN.md §13): generate a seed corpus,
+# serve it with asrankd, and drive asbench's weighted request mix
+# (point lookups, cone probes, pages, bulk, conditional revalidation)
+# against the live server. Leaves p50/p99 latency, req/s-per-core,
+# status counts, and the compact-vs-pretty byte comparison in
+# BENCH_api.json at the repo root.
+BENCHDIR ?= bench-api
+BENCH_DURATION ?= 10s
+
+bench-api:
+	mkdir -p $(BENCHDIR)/bin
+	$(GO) build -o $(BENCHDIR)/bin/ ./cmd/topogen ./cmd/bgpsim ./cmd/asrankd ./cmd/asbench
+	$(BENCHDIR)/bin/topogen -ases 2000 -seed 42 -o $(BENCHDIR)/topo.txt
+	$(BENCHDIR)/bin/bgpsim -topo $(BENCHDIR)/topo.txt -vps 12 -seed 42 -o $(BENCHDIR)/paths.txt
+	$(BENCHDIR)/bin/asrankd -paths $(BENCHDIR)/paths.txt -listen 127.0.0.1:17908 & pid=$$!; \
+	$(BENCHDIR)/bin/asbench -target http://127.0.0.1:17908 \
+		-duration $(BENCH_DURATION) -seed 42 -out BENCH_api.json \
+		|| { kill -INT $$pid; exit 1; }; \
+	kill -INT $$pid; wait $$pid
+	@echo "report in BENCH_api.json"
 
 # Standalone exposition-format gate: the strict Prometheus text-format
 # checks on obs itself plus the end-to-end /metrics surface.

@@ -1,0 +1,371 @@
+// Command asbench load-tests a running asrankd and reports the
+// latency/throughput profile of the API read path as JSON.
+//
+// It drives a weighted mix of the production routes — point lookups,
+// cone-membership probes, ranked pages (cursor paging), neighbor
+// lists, bulk lookups, the clique, health — from one goroutine per
+// worker (a pool.Range fan-out, one HTTP connection each). A
+// configurable fraction of requests revalidate with If-None-Match
+// against the snapshot ETag, exercising the 304 path exactly as a
+// well-behaved cache does. Every random decision comes from a
+// per-shard LCG seeded from -seed, so two runs against the same
+// snapshot issue the same request sequence.
+//
+// Usage:
+//
+//	asrankd -paths corpus.txt -listen 127.0.0.1:8080 &
+//	asbench -target http://127.0.0.1:8080 -duration 10s -out BENCH_api.json
+//
+// With -chaos-seed, every connection is wrapped in the chaos
+// injector's fault-injected dialer (delays, chunked writes, resets),
+// measuring how the read path degrades on a bad network instead of a
+// clean loopback.
+//
+// The report includes p50/p90/p99/max latency, req/s and req/s per
+// core, status-code counts (304s, shed 429/503s, and transport errors
+// included), bytes per response, and the compact-vs-pretty size of
+// the first ranked page — the byte savings of the compact default.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/chaos"
+	"github.com/asrank-go/asrank/internal/pool"
+)
+
+// reqKind enumerates the request mix.
+type reqKind int
+
+const (
+	kindPoint reqKind = iota
+	kindContains
+	kindList
+	kindLinks
+	kindCone
+	kindBulk
+	kindClique
+	kindHealth
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"point", "coneContains", "list", "links", "cone", "bulk", "clique", "health",
+}
+
+// mixWeights is the per-kind share of traffic, summing to 100. Point
+// lookups dominate, as they do against the real AS Rank API.
+var mixWeights = [numKinds]int{35, 15, 15, 10, 10, 5, 5, 5}
+
+// lcg is a per-shard deterministic generator (Knuth MMIX constants):
+// no shared state, no locks, same stream for the same seed.
+type lcg struct{ x uint64 }
+
+func (r *lcg) next() uint64 {
+	r.x = r.x*6364136223846793005 + 1442695040888963407
+	return r.x >> 11
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// shardStats accumulates one worker's observations, merged after the
+// fan-out joins — no cross-shard synchronization during the run.
+type shardStats struct {
+	latencies []time.Duration
+	status    map[string]int
+	perKind   [numKinds]int
+	bytes     int64
+	errors    int
+}
+
+// benchReport is the JSON written to -out.
+type benchReport struct {
+	Target      string  `json:"target"`
+	DurationSec float64 `json:"durationSec"`
+	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Seed        int64   `json:"seed"`
+	ChaosSeed   int64   `json:"chaosSeed,omitempty"`
+	ChaosFaults int64   `json:"chaosFaults,omitempty"`
+	Conditional float64 `json:"conditionalFraction"`
+
+	Requests         int     `json:"requests"`
+	Errors           int     `json:"errors"`
+	ReqPerSec        float64 `json:"reqPerSec"`
+	ReqPerSecPerCore float64 `json:"reqPerSecPerCore"`
+
+	LatencyMillis struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latencyMillis"`
+
+	Status  map[string]int `json:"status"`
+	PerKind map[string]int `json:"perKind"`
+
+	BytesTotal       int64   `json:"bytesTotal"`
+	BytesPerResponse float64 `json:"bytesPerResponse"`
+
+	CompactPageBytes  int     `json:"compactPageBytes"`
+	PrettyPageBytes   int     `json:"prettyPageBytes"`
+	CompactSavingsPct float64 `json:"compactSavingsPct"`
+
+	ETag string `json:"etag"`
+}
+
+func main() {
+	var (
+		target      = flag.String("target", "http://127.0.0.1:8080", "base URL of a running asrankd")
+		duration    = flag.Duration("duration", 10*time.Second, "measured load duration")
+		workers     = flag.Int("workers", 0, "concurrent client connections (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 42, "seed for the deterministic request mix")
+		conditional = flag.Float64("conditional", 0.5, "fraction of data-route requests sent with If-None-Match")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "when non-zero, dial through the chaos fault injector with this seed")
+		warmup      = flag.Duration("warmup", 30*time.Second, "how long to wait for the target's health endpoint")
+		out         = flag.String("out", "BENCH_api.json", "report output path")
+	)
+	flag.Parse()
+	nWorkers := pool.Resolve(*workers)
+
+	base := strings.TrimRight(*target, "/")
+	waitHealthy(base, *warmup)
+
+	etag, asns := sampleSnapshot(base)
+	if len(asns) == 0 {
+		log.Fatal("asbench: target serves an empty ranking; nothing to benchmark")
+	}
+	compactBytes := pageBytes(base, "/api/v1/asns")
+	prettyBytes := pageBytes(base, "/api/v1/asns?pretty=1")
+
+	var inj *chaos.Injector
+	dialer := &net.Dialer{Timeout: 10 * time.Second}
+	dialCtx := dialer.DialContext
+	if *chaosSeed != 0 {
+		inj = chaos.New(chaos.Options{
+			Seed:           *chaosSeed,
+			DelayProb:      0.05,
+			ChunkProb:      0.10,
+			ShortWriteProb: 0.05,
+			ResetProb:      0.005,
+			FaultBudget:    256,
+		})
+		dial := inj.Dialer(nil)
+		dialCtx = func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return dial(addr, 10*time.Second)
+		}
+	}
+
+	stats := make([]shardStats, nWorkers)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	pool.Range(nWorkers, nWorkers, func(shard, lo, hi int) {
+		client := &http.Client{Transport: &http.Transport{
+			DialContext:         dialCtx,
+			MaxIdleConnsPerHost: 1,
+			IdleConnTimeout:     time.Minute,
+		}}
+		rng := lcg{x: uint64(*seed)*0x9e3779b97f4a7c15 + uint64(shard+1)}
+		s := &shardStats{status: map[string]int{}}
+		for time.Now().Before(deadline) {
+			kind, url := nextRequest(&rng, base, asns)
+			req, err := http.NewRequest("GET", url, nil)
+			if err != nil {
+				log.Fatalf("asbench: %v", err)
+			}
+			revalidate := kind != kindHealth && rng.intn(1000) < int(*conditional*1000)
+			if revalidate {
+				req.Header.Set("If-None-Match", etag)
+			}
+			t0 := time.Now()
+			resp, err := client.Do(req)
+			if err != nil {
+				s.errors++
+				continue
+			}
+			n, _ := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			s.latencies = append(s.latencies, time.Since(t0))
+			s.status[strconv.Itoa(resp.StatusCode)]++
+			s.perKind[kind]++
+			s.bytes += n
+		}
+		stats[shard] = *s
+	})
+	elapsed := time.Since(start)
+
+	rep := merge(stats, elapsed)
+	rep.Target = base
+	rep.DurationSec = elapsed.Seconds()
+	rep.Workers = nWorkers
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Seed = *seed
+	rep.Conditional = *conditional
+	rep.ETag = etag
+	rep.CompactPageBytes = compactBytes
+	rep.PrettyPageBytes = prettyBytes
+	if prettyBytes > 0 {
+		rep.CompactSavingsPct = 100 * float64(prettyBytes-compactBytes) / float64(prettyBytes)
+	}
+	if inj != nil {
+		rep.ChaosSeed = *chaosSeed
+		rep.ChaosFaults = inj.FaultsInjected()
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("asbench: encode report: %v", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatalf("asbench: write %s: %v", *out, err)
+	}
+	fmt.Printf("asbench: %d requests in %s (%0.0f req/s, %0.0f req/s/core), p50 %.2fms p99 %.2fms -> %s\n",
+		rep.Requests, elapsed.Round(time.Millisecond), rep.ReqPerSec, rep.ReqPerSecPerCore,
+		rep.LatencyMillis.P50, rep.LatencyMillis.P99, *out)
+}
+
+// waitHealthy polls the health endpoint until it answers 200.
+func waitHealthy(base string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/api/v1/health")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("asbench: target %s not healthy after %s (last error: %v)", base, timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// sampleSnapshot fetches the snapshot validator and a sample of ranked
+// AS numbers to aim point lookups at.
+func sampleSnapshot(base string) (etag string, asns []uint32) {
+	resp, err := http.Get(base + "/api/v1/asns?limit=500")
+	if err != nil {
+		log.Fatalf("asbench: sample ranking: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		log.Fatalf("asbench: sample ranking: status %d", resp.StatusCode)
+	}
+	etag = resp.Header.Get("ETag")
+	var page struct {
+		Data []struct {
+			ASN uint32 `json:"asn"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		log.Fatalf("asbench: decode ranking: %v", err)
+	}
+	for _, d := range page.Data {
+		asns = append(asns, d.ASN)
+	}
+	return etag, asns
+}
+
+// pageBytes measures one response body's size.
+func pageBytes(base, path string) int {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		log.Fatalf("asbench: measure %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		log.Fatalf("asbench: measure %s: %v", path, err)
+	}
+	return int(n)
+}
+
+// nextRequest draws one request from the weighted mix.
+func nextRequest(rng *lcg, base string, asns []uint32) (reqKind, string) {
+	roll, kind := rng.intn(100), kindHealth
+	for k, acc := reqKind(0), 0; k < numKinds; k++ {
+		acc += mixWeights[k]
+		if roll < acc {
+			kind = k
+			break
+		}
+	}
+	pick := func() string {
+		return strconv.FormatUint(uint64(asns[rng.intn(len(asns))]), 10)
+	}
+	switch kind {
+	case kindPoint:
+		return kind, base + "/api/v1/asns/" + pick()
+	case kindContains:
+		return kind, base + "/api/v1/asns/" + pick() + "/cone/contains/" + pick()
+	case kindList:
+		offset := rng.intn(len(asns))
+		return kind, base + "/api/v1/asns?limit=50&cursor=" + strconv.Itoa(offset)
+	case kindLinks:
+		return kind, base + "/api/v1/asns/" + pick() + "/links"
+	case kindCone:
+		return kind, base + "/api/v1/asns/" + pick() + "/cone?limit=200"
+	case kindBulk:
+		ids := make([]string, 0, 8)
+		for i := 0; i < 8; i++ {
+			ids = append(ids, pick())
+		}
+		return kind, base + "/api/v1/asns?ids=" + strings.Join(ids, ",")
+	case kindClique:
+		return kind, base + "/api/v1/clique"
+	default:
+		return kindHealth, base + "/api/v1/health"
+	}
+}
+
+// merge folds the per-shard stats into the report.
+func merge(stats []shardStats, elapsed time.Duration) *benchReport {
+	rep := &benchReport{Status: map[string]int{}, PerKind: map[string]int{}}
+	var all []time.Duration
+	for _, s := range stats {
+		all = append(all, s.latencies...)
+		rep.Errors += s.errors
+		rep.BytesTotal += s.bytes
+		for code, n := range s.status {
+			rep.Status[code] += n
+		}
+		for k, n := range s.perKind {
+			if n > 0 {
+				rep.PerKind[kindNames[k]] += n
+			}
+		}
+	}
+	rep.Requests = len(all)
+	if rep.Requests == 0 {
+		return rep
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		return float64(all[int(q*float64(len(all)-1))]) / float64(time.Millisecond)
+	}
+	rep.LatencyMillis.P50 = pct(0.50)
+	rep.LatencyMillis.P90 = pct(0.90)
+	rep.LatencyMillis.P99 = pct(0.99)
+	rep.LatencyMillis.Max = float64(all[len(all)-1]) / float64(time.Millisecond)
+	rep.ReqPerSec = float64(rep.Requests) / elapsed.Seconds()
+	rep.ReqPerSecPerCore = rep.ReqPerSec / float64(runtime.GOMAXPROCS(0))
+	rep.BytesPerResponse = float64(rep.BytesTotal) / float64(rep.Requests)
+	return rep
+}

@@ -53,6 +53,11 @@ func main() {
 		debugListen = flag.String("debug-listen", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
 		workers     = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
 		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+
+		shedConc    = flag.Int("shed-concurrency", 64, "per-route concurrency limit for heavy routes; point lookups get 4x (0 disables shedding)")
+		shedQueue   = flag.Int("shed-queue", 0, "requests allowed to wait for an admission slot (0 = 2x concurrency)")
+		shedTimeout = flag.Duration("shed-timeout", 250*time.Millisecond, "max time a queued request waits before a 503")
+		retryAfter  = flag.Duration("shed-retry-after", time.Second, "Retry-After hint on shed 429/503 responses")
 	)
 	flag.Parse()
 
@@ -96,12 +101,22 @@ func main() {
 	res := core.InferCtx(startCtx, ds, core.Options{Sanitize: true, Workers: *workers})
 	data := apiserver.Build(res)
 	startSpan.End()
-	log.Printf("asrankd: inferred %d links (clique %v) in %s",
-		len(res.Rels), res.Clique, time.Since(start).Round(time.Millisecond))
+	log.Printf("asrankd: inferred %d links (clique %v) in %s; snapshot etag %s",
+		len(res.Rels), res.Clique, time.Since(start).Round(time.Millisecond), data.ETag())
 
+	handler := apiserver.NewServer(data, apiserver.Config{
+		Registry: obs.Default(),
+		Tracer:   tracer,
+		Shed: apiserver.ShedPolicy{
+			MaxConcurrent: *shedConc,
+			MaxQueue:      *shedQueue,
+			QueueTimeout:  *shedTimeout,
+			RetryAfter:    *retryAfter,
+		},
+	})
 	api := &http.Server{
 		Addr:              *listen,
-		Handler:           apiserver.LogRequests(apiserver.NewHandlerTraced(data, obs.Default(), tracer)),
+		Handler:           apiserver.LogRequests(handler),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,

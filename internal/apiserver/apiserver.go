@@ -2,12 +2,24 @@
 // counterpart of the public AS Rank API that the paper's system feeds.
 // Endpoints (all GET):
 //
-//	/api/v1/health             liveness and dataset summary
-//	/api/v1/clique             the inferred clique
-//	/api/v1/asns               ranked ASes (limit/offset paging)
-//	/api/v1/asns/{asn}         one AS: rank, cone, degrees
-//	/api/v1/asns/{asn}/links   neighbors with relationship + provenance
-//	/api/v1/asns/{asn}/cone    customer cone membership
+//	/api/v1/health                               liveness and dataset summary
+//	/api/v1/clique                               the inferred clique
+//	/api/v1/asns                                 ranked ASes (cursor or limit/offset paging)
+//	/api/v1/asns?ids=a,b,c                       bulk point lookup
+//	/api/v1/asns/{asn}                           one AS: rank, cone, degrees
+//	/api/v1/asns/{asn}/links                     neighbors with relationship + provenance
+//	/api/v1/asns/{asn}/cone                      customer cone membership
+//	/api/v1/asns/{asn}/cone/contains/{member}    bitset membership probe
+//
+// The handlers serve an immutable snapshot (see Build): every summary,
+// neighbor list, and cone-prefix sum is precomputed, point lookups
+// write pre-serialized bytes without allocating, and every data route
+// carries a snapshot-derived strong ETag honoring If-None-Match with a
+// body-free 304. Responses are compact by default; ?pretty=1 opts into
+// indentation. Every route sits behind load-shedding admission control
+// (ShedPolicy): past the per-route concurrency limit requests queue
+// briefly, then shed with 429/503 + Retry-After, all visible in the
+// obs registry.
 package apiserver
 
 import (
@@ -15,54 +27,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
+	"strings"
+	"sync"
 
-	"github.com/asrank-go/asrank/internal/cone"
-	"github.com/asrank-go/asrank/internal/core"
 	"github.com/asrank-go/asrank/internal/obs"
-	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/trace"
 )
-
-// Data is the immutable, precomputed view the handlers serve.
-type Data struct {
-	res       *core.Result
-	ppSizes   map[uint32]int
-	prefixes  map[uint32]int
-	rank      []uint32
-	rankOf    map[uint32]int
-	clique    map[uint32]bool
-	coneSets  cone.Sets
-	pathCount int
-}
-
-// Build precomputes the API view from an inference result. The result's
-// Dataset must be populated (as core.Infer leaves it).
-func Build(res *core.Result) *Data {
-	rels := cone.NewRelations(res.Rels)
-	sets := rels.ProviderPeerObserved(res.Dataset)
-	sizes := sets.Sizes()
-	rank := cone.Rank(sizes, res.TransitDegree)
-	rankOf := make(map[uint32]int, len(rank))
-	for i, asn := range rank {
-		rankOf[asn] = i + 1
-	}
-	clique := make(map[uint32]bool, len(res.Clique))
-	for _, m := range res.Clique {
-		clique[m] = true
-	}
-	return &Data{
-		res:       res,
-		ppSizes:   sizes,
-		prefixes:  cone.PrefixCounts(res.Dataset),
-		rank:      rank,
-		rankOf:    rankOf,
-		clique:    clique,
-		coneSets:  sets,
-		pathCount: res.Dataset.NumPaths(),
-	}
-}
 
 // asnSummary is the JSON shape of one ranked AS.
 type asnSummary struct {
@@ -78,144 +49,6 @@ type asnSummary struct {
 	InClique      bool   `json:"inClique"`
 }
 
-func (d *Data) summary(asn uint32) asnSummary {
-	cone := d.coneSets[asn]
-	conePrefixes := 0
-	for member := range cone {
-		conePrefixes += d.prefixes[member]
-	}
-	return asnSummary{
-		ASN:           asn,
-		Rank:          d.rankOf[asn],
-		ConeASes:      d.ppSizes[asn],
-		ConePrefixes:  conePrefixes,
-		TransitDegree: d.res.TransitDegree[asn],
-		Degree:        d.res.Degree[asn],
-		Providers:     len(d.res.Providers(asn)),
-		Customers:     len(d.res.Customers(asn)),
-		Peers:         len(d.res.Peers(asn)),
-		InClique:      d.clique[asn],
-	}
-}
-
-// NewHandler returns the API's HTTP handler, instrumented into the
-// process-global metrics registry.
-func NewHandler(d *Data) http.Handler {
-	return NewHandlerWith(d, obs.Default())
-}
-
-// NewHandlerWith returns the API's HTTP handler with per-route request
-// metrics recorded into reg — injectable so tests can assert on a
-// fresh registry.
-func NewHandlerWith(d *Data, reg *obs.Registry) http.Handler {
-	return NewHandlerTraced(d, reg, nil)
-}
-
-// NewHandlerTraced is NewHandlerWith plus request tracing: when tr is
-// non-nil every route is wrapped in TraceRequests (outermost, so the
-// span covers the metrics middleware too) and requests join incoming
-// W3C traceparent contexts.
-func NewHandlerTraced(d *Data, reg *obs.Registry, tr *trace.Tracer) http.Handler {
-	m := NewMetrics(reg)
-	mux := http.NewServeMux()
-	handle := func(route string, h http.HandlerFunc) {
-		mux.Handle("GET "+route, TraceRequests(tr, route, m.Wrap(route, h)))
-	}
-	handle("/api/v1/health", d.handleHealth)
-	handle("/api/v1/clique", d.handleClique)
-	handle("/api/v1/asns", d.handleList)
-	handle("/api/v1/asns/{asn}", d.handleASN)
-	handle("/api/v1/asns/{asn}/links", d.handleLinks)
-	handle("/api/v1/asns/{asn}/cone", d.handleCone)
-	return mux
-}
-
-// writeJSON encodes v to a buffer before touching the ResponseWriter,
-// so an encoding failure yields a clean 500 instead of a plaintext
-// error appended to a partial JSON body.
-func writeJSON(w http.ResponseWriter, v any) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, "internal error: response encoding failed", http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(buf.Bytes())
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
-}
-
-func (d *Data) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
-		"status": "ok",
-		"ases":   len(d.rank),
-		"links":  len(d.res.Rels),
-		"paths":  d.pathCount,
-		"clique": d.res.Clique,
-	})
-}
-
-func (d *Data) handleClique(w http.ResponseWriter, r *http.Request) {
-	out := make([]asnSummary, 0, len(d.res.Clique))
-	for _, asn := range d.res.Clique {
-		out = append(out, d.summary(asn))
-	}
-	writeJSON(w, out)
-}
-
-func (d *Data) handleList(w http.ResponseWriter, r *http.Request) {
-	limit, err := intParam(r, "limit", 50)
-	if err != nil || limit <= 0 || limit > 1000 {
-		writeError(w, http.StatusBadRequest, "limit must be in 1..1000")
-		return
-	}
-	offset, err := intParam(r, "offset", 0)
-	if err != nil || offset < 0 {
-		writeError(w, http.StatusBadRequest, "offset must be >= 0")
-		return
-	}
-	if offset > len(d.rank) {
-		offset = len(d.rank)
-	}
-	end := offset + limit
-	if end > len(d.rank) {
-		end = len(d.rank)
-	}
-	out := make([]asnSummary, 0, end-offset)
-	for _, asn := range d.rank[offset:end] {
-		out = append(out, d.summary(asn))
-	}
-	writeJSON(w, map[string]any{"total": len(d.rank), "data": out})
-}
-
-func (d *Data) asnParam(w http.ResponseWriter, r *http.Request) (uint32, bool) {
-	v, err := strconv.ParseUint(r.PathValue("asn"), 10, 32)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad AS number")
-		return 0, false
-	}
-	asn := uint32(v)
-	if _, ok := d.rankOf[asn]; !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("AS%d not observed", asn))
-		return 0, false
-	}
-	return asn, true
-}
-
-func (d *Data) handleASN(w http.ResponseWriter, r *http.Request) {
-	asn, ok := d.asnParam(w, r)
-	if !ok {
-		return
-	}
-	writeJSON(w, d.summary(asn))
-}
-
 // linkEntry is the JSON shape of one adjacency.
 type linkEntry struct {
 	Neighbor     uint32 `json:"neighbor"`
@@ -223,40 +56,388 @@ type linkEntry struct {
 	Step         string `json:"inferredBy"`
 }
 
-func (d *Data) handleLinks(w http.ResponseWriter, r *http.Request) {
-	asn, ok := d.asnParam(w, r)
-	if !ok {
+// Config assembles a production handler: metrics registry, optional
+// tracer, and the load-shedding policy.
+type Config struct {
+	// Registry receives per-route HTTP metrics; nil selects the
+	// process-global obs.Default().
+	Registry *obs.Registry
+	// Tracer, when non-nil, wraps every route in request spans.
+	Tracer *trace.Tracer
+	// Shed is the per-route admission policy; the zero value disables
+	// shedding (use DefaultShedPolicy for production limits).
+	Shed ShedPolicy
+}
+
+// NewHandler returns the API's HTTP handler, instrumented into the
+// process-global metrics registry, with default load shedding.
+func NewHandler(d *Data) http.Handler {
+	return NewServer(d, Config{Shed: DefaultShedPolicy()})
+}
+
+// NewHandlerWith returns the API's HTTP handler with per-route request
+// metrics recorded into reg — injectable so tests can assert on a
+// fresh registry.
+func NewHandlerWith(d *Data, reg *obs.Registry) http.Handler {
+	return NewServer(d, Config{Registry: reg, Shed: DefaultShedPolicy()})
+}
+
+// NewHandlerTraced is NewHandlerWith plus request tracing.
+func NewHandlerTraced(d *Data, reg *obs.Registry, tr *trace.Tracer) http.Handler {
+	return NewServer(d, Config{Registry: reg, Tracer: tr, Shed: DefaultShedPolicy()})
+}
+
+// NewServer builds the production read path over snapshot d. Per
+// route, outermost first: trace span (when configured) → metrics →
+// admission gate → handler, so shed rejections are counted and traced
+// like any other response.
+func NewServer(d *Data, cfg Config) http.Handler {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := NewMetrics(reg)
+	mux := http.NewServeMux()
+	handle := func(route string, policy ShedPolicy, h http.HandlerFunc) {
+		mux.Handle("GET "+route,
+			TraceRequests(cfg.Tracer, route, m.Wrap(route, Shed(route, policy, m, h))))
+	}
+	heavy := cfg.Shed
+	light := cfg.Shed.scaled(pointLookupFactor)
+	handle("/api/v1/health", light, d.handleHealth)
+	handle("/api/v1/clique", heavy, d.handleClique)
+	handle("/api/v1/asns", heavy, d.handleList)
+	handle("/api/v1/asns/{asn}", light, d.handleASN)
+	handle("/api/v1/asns/{asn}/links", heavy, d.handleLinks)
+	handle("/api/v1/asns/{asn}/cone", heavy, d.handleCone)
+	handle("/api/v1/asns/{asn}/cone/contains/{member}", light, d.handleConeContains)
+	return mux
+}
+
+// bufPool recycles response staging buffers across requests, so the
+// buffered-write path allocates only the JSON encoder state.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// wantPretty reports whether the request opted into indented output.
+// Substring probe on the raw query — no URL parsing on the hot path;
+// the false-positive surface (a key literally named "pretty=1" inside
+// another value) is not worth a parse.
+func wantPretty(r *http.Request) bool {
+	return strings.Contains(r.URL.RawQuery, "pretty=1")
+}
+
+// writeJSON stages v in a pooled buffer before touching the
+// ResponseWriter — an encoding failure yields a clean 500, a success a
+// correct Content-Length — and counts transport write failures.
+// Compact unless pretty.
+func writeJSON(w http.ResponseWriter, pretty bool, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	if pretty {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, "internal error: response encoding failed", http.StatusInternalServerError)
 		return
 	}
-	var out []linkEntry
-	emit := func(neighbors []uint32, rel string) {
-		for _, n := range neighbors {
-			step := d.res.Steps[paths.NewLink(asn, n)]
-			out = append(out, linkEntry{Neighbor: n, Relationship: rel, Step: step.String()})
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		writeFailures.Inc()
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(map[string]string{"error": msg}); err != nil {
+		http.Error(w, "internal error", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		writeFailures.Inc()
+	}
+}
+
+// writeHot serves a pre-serialized body with the snapshot ETag. Zero
+// allocations on the compact path; ?pretty=1 re-indents through the
+// pooled buffer.
+func (d *Data) writeHot(w http.ResponseWriter, r *http.Request, body []byte) {
+	if wantPretty(r) {
+		buf := bufPool.Get().(*bytes.Buffer)
+		defer bufPool.Put(buf)
+		buf.Reset()
+		if err := json.Indent(buf, body, "", "  "); err != nil {
+			http.Error(w, "internal error: response encoding failed", http.StatusInternalServerError)
+			return
+		}
+		d.setHot(w.Header())
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			writeFailures.Inc()
+		}
+		return
+	}
+	d.setHot(w.Header())
+	if _, err := w.Write(body); err != nil {
+		writeFailures.Inc()
+	}
+}
+
+func (d *Data) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Health is a liveness probe: always a 200 body, never a 304 — but
+	// it still serves the pre-rendered snapshot bytes.
+	d.writeHot(w, r, d.healthJSON)
+}
+
+func (d *Data) handleClique(w http.ResponseWriter, r *http.Request) {
+	if d.notModified(w, r) {
+		return
+	}
+	d.writeHot(w, r, d.cliqueJSON)
+}
+
+// handleList serves the ranked listing: bulk (?ids=), cursor
+// (?cursor=&limit=), or legacy offset (?limit=&offset=) paging. The
+// bare request (no query) is the pre-serialized first page.
+func (d *Data) handleList(w http.ResponseWriter, r *http.Request) {
+	if d.notModified(w, r) {
+		return
+	}
+	if r.URL.RawQuery == "" {
+		d.writeHot(w, r, d.firstPageJSON)
+		return
+	}
+	q := r.URL.Query()
+	if ids := q.Get("ids"); ids != "" {
+		d.handleBulk(w, r, ids)
+		return
+	}
+	limit, err := intParam(q.Get("limit"), listDefaultLimit)
+	if err != nil || limit <= 0 || limit > 1000 {
+		writeError(w, http.StatusBadRequest, "limit must be in 1..1000")
+		return
+	}
+	offset := 0
+	if c := q.Get("cursor"); c != "" {
+		offset, err = strconv.Atoi(c)
+		if err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, "bad cursor; use the nextCursor of a previous page")
+			return
+		}
+	} else {
+		offset, err = intParam(q.Get("offset"), 0)
+		if err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, "offset must be >= 0")
+			return
 		}
 	}
-	emit(d.res.Providers(asn), "provider")
-	emit(d.res.Customers(asn), "customer")
-	emit(d.res.Peers(asn), "peer")
-	sort.Slice(out, func(i, j int) bool { return out[i].Neighbor < out[j].Neighbor })
-	writeJSON(w, out)
+	d.setHot(w.Header())
+	writeJSON(w, wantPretty(r), d.page(offset, limit))
 }
 
-func (d *Data) handleCone(w http.ResponseWriter, r *http.Request) {
-	asn, ok := d.asnParam(w, r)
+// bulkLimit caps one bulk lookup, matching the list page cap.
+const bulkLimit = 1000
+
+// bulkResponse answers ?ids=: summaries in request order for known
+// ASes, the unknown ids split out (never null).
+type bulkResponse struct {
+	Data    []json.RawMessage `json:"data"`
+	Missing []uint32          `json:"missing"`
+}
+
+func (d *Data) handleBulk(w http.ResponseWriter, r *http.Request, ids string) {
+	out := bulkResponse{Data: []json.RawMessage{}, Missing: []uint32{}}
+	for n, rest := 0, ids; rest != ""; n++ {
+		if n >= bulkLimit {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("ids: more than %d values", bulkLimit))
+			return
+		}
+		tok := rest
+		if i := strings.IndexByte(rest, ','); i >= 0 {
+			tok, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		asn, ok := parseASN(tok)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("ids: bad AS number %q", tok))
+			return
+		}
+		if p, ok := d.idx.Pos(asn); ok {
+			out.Data = append(out.Data, json.RawMessage(d.summaryJSON[p]))
+		} else {
+			out.Missing = append(out.Missing, asn)
+		}
+	}
+	d.setHot(w.Header())
+	writeJSON(w, wantPretty(r), out)
+}
+
+// parseASN is an allocation-free uint32 parser for the hot lookup
+// paths (strconv's error path allocates).
+func parseASN(s string) (uint32, bool) {
+	if s == "" || len(s) > 10 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+		if v > 1<<32-1 {
+			return 0, false
+		}
+	}
+	return uint32(v), true
+}
+
+// asnParam resolves the {asn} path value to an interned position,
+// writing the error response when it is absent or malformed.
+func (d *Data) asnParam(w http.ResponseWriter, r *http.Request) (uint32, int32, bool) {
+	asn, ok := parseASN(r.PathValue("asn"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad AS number")
+		return 0, 0, false
+	}
+	pos, ok := d.idx.Pos(asn)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("AS%d not observed", asn))
+		return 0, 0, false
+	}
+	return asn, pos, true
+}
+
+// handleASN is the zero-allocation point lookup: parse, probe, write
+// pre-serialized bytes.
+func (d *Data) handleASN(w http.ResponseWriter, r *http.Request) {
+	_, pos, ok := d.asnParam(w, r)
 	if !ok {
 		return
 	}
-	members := make([]uint32, 0, len(d.coneSets[asn]))
-	for m := range d.coneSets[asn] {
-		members = append(members, m)
+	if d.notModified(w, r) {
+		return
 	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	writeJSON(w, map[string]any{"asn": asn, "size": len(members), "members": members})
+	d.writeHot(w, r, d.summaryJSON[pos])
 }
 
-func intParam(r *http.Request, name string, def int) (int, error) {
-	v := r.URL.Query().Get(name)
+// coneContainsBufPool recycles the small response staging buffers of
+// the membership probe, keeping its steady state allocation-free.
+var coneContainsBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 96)
+	return &b
+}}
+
+// handleConeContains answers "is member inside asn's customer cone" as
+// a two-probe bitset lookup. Unknown member ASes are a valid query
+// (answer: false), unlike an unknown subject AS (404).
+func (d *Data) handleConeContains(w http.ResponseWriter, r *http.Request) {
+	asn, _, ok := d.asnParam(w, r)
+	if !ok {
+		return
+	}
+	member, ok := parseASN(r.PathValue("member"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad member AS number")
+		return
+	}
+	if d.notModified(w, r) {
+		return
+	}
+	bp := coneContainsBufPool.Get().(*[]byte)
+	defer coneContainsBufPool.Put(bp)
+	b := (*bp)[:0]
+	b = append(b, `{"asn":`...)
+	b = strconv.AppendUint(b, uint64(asn), 10)
+	b = append(b, `,"member":`...)
+	b = strconv.AppendUint(b, uint64(member), 10)
+	b = append(b, `,"contains":`...)
+	b = strconv.AppendBool(b, d.ConeContains(asn, member))
+	b = append(b, '}')
+	*bp = b
+	d.setHot(w.Header())
+	if _, err := w.Write(b); err != nil {
+		writeFailures.Inc()
+	}
+}
+
+func (d *Data) handleLinks(w http.ResponseWriter, r *http.Request) {
+	_, pos, ok := d.asnParam(w, r)
+	if !ok {
+		return
+	}
+	if d.notModified(w, r) {
+		return
+	}
+	out := d.links[pos]
+	if out == nil {
+		out = []linkEntry{} // an AS with no links serializes as [], never null
+	}
+	d.setHot(w.Header())
+	writeJSON(w, wantPretty(r), out)
+}
+
+// coneResponse is the JSON shape of a cone-membership page.
+type coneResponse struct {
+	ASN        uint32   `json:"asn"`
+	Size       int      `json:"size"`
+	Members    []uint32 `json:"members"`
+	NextCursor string   `json:"nextCursor,omitempty"`
+}
+
+// handleCone lists cone membership, ascending. Large cones can be
+// paged with ?limit= and ?cursor= (member offset); the default is the
+// whole cone, preserving the v1 shape.
+func (d *Data) handleCone(w http.ResponseWriter, r *http.Request) {
+	asn, _, ok := d.asnParam(w, r)
+	if !ok {
+		return
+	}
+	if d.notModified(w, r) {
+		return
+	}
+	members := d.coneMembers(asn)
+	resp := coneResponse{ASN: asn, Size: len(members), Members: members}
+	if r.URL.RawQuery != "" {
+		q := r.URL.Query()
+		limit, err := intParam(q.Get("limit"), 0)
+		if err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be >= 0")
+			return
+		}
+		offset, err := intParam(q.Get("cursor"), 0)
+		if err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, "bad cursor; use the nextCursor of a previous page")
+			return
+		}
+		if offset > len(members) {
+			offset = len(members)
+		}
+		end := len(members)
+		if limit > 0 && offset+limit < end {
+			end = offset + limit
+			resp.NextCursor = strconv.Itoa(end)
+		}
+		resp.Members = members[offset:end]
+	}
+	if resp.Members == nil {
+		resp.Members = []uint32{}
+	}
+	d.setHot(w.Header())
+	writeJSON(w, wantPretty(r), resp)
+}
+
+func intParam(v string, def int) (int, error) {
 	if v == "" {
 		return def, nil
 	}

@@ -1,0 +1,67 @@
+package apiserver
+
+import (
+	"net/http"
+	"strings"
+)
+
+// The ETag scheme is snapshot-wide: every data route carries the same
+// strong validator (Data.etag), because every response is a pure
+// function of one immutable snapshot. A client that revalidates any
+// cached response with If-None-Match gets a body-free 304 until the
+// serving snapshot is swapped, at which point the tag changes and
+// every cached entry misses together — exactly the invalidation
+// granularity an atomically swapped snapshot has.
+
+// headerJSON and headerNoBody are shared header value slices assigned
+// by direct map index so the hot handlers never allocate a per-request
+// []string. Keys must be in canonical MIME form (as http.Header.Set
+// would produce) for the rest of net/http to see them.
+var headerJSON = []string{"application/json"}
+
+// setHot stamps the alloc-free response headers for a pre-serialized
+// body: content type plus the snapshot validator.
+func (d *Data) setHot(h http.Header) {
+	h["Content-Type"] = headerJSON
+	h["Etag"] = d.etagHeader
+}
+
+// notModified answers a conditional request: when If-None-Match
+// matches the snapshot tag it writes a body-free 304 (with the tag, so
+// caches refresh their metadata) and reports true. Allocation-free.
+func (d *Data) notModified(w http.ResponseWriter, r *http.Request) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" || !etagMatch(inm, d.etag) {
+		return false
+	}
+	w.Header()["Etag"] = d.etagHeader
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// etagMatch implements the If-None-Match comparison: a literal *, or
+// any member of the comma-separated tag list equal to etag. Weak
+// validators (W/ prefix) compare by the weak rule, i.e. the W/ is
+// ignored — correct for GET revalidation. Substring operations only;
+// no allocation.
+func etagMatch(inm, etag string) bool {
+	if inm == "*" {
+		return true
+	}
+	for inm != "" {
+		for len(inm) > 0 && (inm[0] == ' ' || inm[0] == '\t' || inm[0] == ',') {
+			inm = inm[1:]
+		}
+		tag := inm
+		if i := strings.IndexByte(inm, ','); i >= 0 {
+			tag, inm = inm[:i], inm[i+1:]
+		} else {
+			inm = ""
+		}
+		tag = strings.TrimPrefix(strings.TrimSpace(tag), "W/")
+		if tag == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -14,10 +14,18 @@ import (
 // in-flight gauge. Routes are labeled at registration time (the mux
 // pattern), so label cardinality is fixed regardless of request URLs.
 type Metrics struct {
-	requests *obs.CounterVec   // route, class
-	latency  *obs.HistogramVec // route, class
-	inFlight *obs.Gauge
+	requests  *obs.CounterVec   // route, class
+	latency   *obs.HistogramVec // route, class
+	inFlight  *obs.Gauge
+	shed      *obs.CounterVec // route, reason
+	shedQueue *obs.GaugeVec   // route
 }
+
+// writeFailures counts response writes the client never received
+// (connection gone mid-body). Process-global: write failures are a
+// property of the transport, not of any one handler wiring.
+var writeFailures = obs.Default().Counter("asrank_http_write_failures_total",
+	"Response body writes that failed (client disconnected or transport error).")
 
 // NewMetrics registers (or re-binds, idempotently) the HTTP metric
 // families in reg.
@@ -30,6 +38,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			obs.DurationBuckets, "route", "class"),
 		inFlight: reg.Gauge("asrank_http_in_flight_requests",
 			"Requests currently being served."),
+		shed: reg.CounterVec("asrank_http_requests_shed_total",
+			"Requests rejected by load shedding, by route pattern and reason (queue_full, queue_timeout, canceled).",
+			"route", "reason"),
+		shedQueue: reg.GaugeVec("asrank_http_shed_queue_depth",
+			"Requests waiting for an admission slot, by route pattern.", "route"),
 	}
 }
 
@@ -72,6 +85,13 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	w.bytes += n
 	return n, err
 }
+
+// Unwrap exposes the wrapped writer to http.ResponseController (Go
+// 1.20+), so Flusher/ReaderFrom/Hijacker reach streaming handlers
+// through the middleware stack instead of being hidden by the
+// embedding — without it, a flush through LogRequests or Wrap reports
+// http.ErrNotSupported even though the underlying writer flushes fine.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // Status returns the response status, defaulting to 200 when the
 // handler never called WriteHeader.

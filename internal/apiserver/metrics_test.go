@@ -12,6 +12,7 @@ import (
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 // metricsServer builds a handler over a small simulated topology with
@@ -107,7 +108,7 @@ func TestErrorPathsRecordStatusClasses(t *testing.T) {
 
 func TestWriteJSONEncodeFailureSendsCleanError(t *testing.T) {
 	rr := httptest.NewRecorder()
-	writeJSON(rr, map[string]any{"bad": make(chan int)}) // unencodable
+	writeJSON(rr, false, map[string]any{"bad": make(chan int)}) // unencodable
 	if rr.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", rr.Code)
 	}
@@ -133,6 +134,38 @@ func TestStatusWriterDefaultsTo200(t *testing.T) {
 	sw.WriteHeader(500) // second call must not overwrite
 	if sw.Status() != 404 {
 		t.Fatalf("status=%d, want 404", sw.Status())
+	}
+}
+
+// TestFlushThroughMiddlewareStack is the regression test for the
+// statusWriter hiding http.Flusher: a streaming handler must be able
+// to flush through the full production stack (access log → trace →
+// metrics → shed), which requires Unwrap on every wrapping writer so
+// http.ResponseController can reach the real connection.
+func TestFlushThroughMiddlewareStack(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	tr := trace.New(trace.Options{})
+	var flushErr error
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := w.Write([]byte("chunk")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		flushErr = http.NewResponseController(w).Flush()
+	})
+	stack := LogRequests(TraceRequests(tr, "/stream", m.Wrap("/stream",
+		Shed("/stream", DefaultShedPolicy(), m, inner))))
+
+	rr := httptest.NewRecorder()
+	stack.ServeHTTP(rr, httptest.NewRequest("GET", "/stream", nil))
+	if flushErr != nil {
+		t.Fatalf("flush through middleware stack: %v", flushErr)
+	}
+	if !rr.Flushed {
+		t.Fatal("flush never reached the underlying writer")
+	}
+	if rr.Body.String() != "chunk" {
+		t.Fatalf("body = %q", rr.Body.String())
 	}
 }
 

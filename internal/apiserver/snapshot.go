@@ -1,0 +1,283 @@
+package apiserver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"github.com/asrank-go/asrank/internal/asindex"
+	"github.com/asrank-go/asrank/internal/cone"
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/pool"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// Data is the immutable snapshot the handlers serve. Everything a
+// request can ask for is computed once in Build — per-AS summaries
+// (including the cone-prefix sums that used to be re-walked per
+// request), sorted neighbor lists, cone bitsets for O(1) membership
+// probes — and the hot responses (every point-lookup summary, the
+// clique, health, the default first list page) are serialized to bytes
+// up front, so the steady-state point-lookup path performs zero
+// allocations. A snapshot-derived strong ETag validates every
+// response; swapping in a new snapshot changes the ETag and invalidates
+// client caches atomically.
+type Data struct {
+	res  *core.Result
+	idx  *asindex.Index
+	bits *cone.BitSets
+
+	rank    []uint32 // rank order (best first)
+	rankPos []int32  // rank index → interned position
+	rankOf  map[uint32]int
+
+	summaries   []asnSummary // by interned position
+	summaryJSON [][]byte     // by interned position, compact, newline-free
+	links       [][]linkEntry
+	clique      []uint32 // never nil
+
+	pathCount int
+
+	etag       string   // strong validator, quoted
+	etagHeader []string // shared header value slice for alloc-free sets
+
+	healthJSON    []byte
+	cliqueJSON    []byte
+	firstPageJSON []byte // /asns with no query: limit=listDefaultLimit, offset=0
+}
+
+// listDefaultLimit is the page size served when the client asks for
+// none; the bare-/asns response at this size is pre-serialized.
+const listDefaultLimit = 50
+
+// Build precomputes the API snapshot from an inference result. The
+// result's Dataset must be populated (as core.Infer leaves it). Build
+// is the only expensive call — handlers never recompute.
+func Build(res *core.Result) *Data {
+	rels := cone.NewRelations(res.Rels)
+	bits := rels.ProviderPeerObservedBits(res.Dataset)
+	idx := bits.Index()
+	n := idx.Len()
+
+	sizes := bits.Sizes()
+	rank := cone.Rank(sizes, res.TransitDegree)
+	rankOf := make(map[uint32]int, len(rank))
+	rankPos := make([]int32, len(rank))
+	for i, asn := range rank {
+		rankOf[asn] = i + 1
+		p, _ := idx.Pos(asn)
+		rankPos[i] = p
+	}
+
+	// Cone-prefix totals: one parallel pass over the bitset slab,
+	// replacing the per-request cone walk.
+	prefixes := cone.PrefixCounts(res.Dataset)
+	weights := make([]int64, n)
+	for asn, c := range prefixes {
+		if p, ok := idx.Pos(asn); ok {
+			weights[p] = int64(c)
+		}
+	}
+	conePrefixes := bits.WeightedSizes(weights)
+
+	// Neighbor lists and relationship counts: one pass over the
+	// relationship map (instead of three full scans per summary).
+	links := make([][]linkEntry, n)
+	for l, rel := range res.Rels {
+		pa, _ := idx.Pos(l.A)
+		pb, _ := idx.Pos(l.B)
+		step := res.Steps[l].String()
+		var roleB, roleA string // role of the neighbor, relative to the queried AS
+		switch rel {
+		case topology.P2C: // A provides B
+			roleB, roleA = "customer", "provider"
+		case topology.C2P: // B provides A
+			roleB, roleA = "provider", "customer"
+		case topology.P2P:
+			roleB, roleA = "peer", "peer"
+		default:
+			continue
+		}
+		links[pa] = append(links[pa], linkEntry{Neighbor: l.B, Relationship: roleB, Step: step})
+		links[pb] = append(links[pb], linkEntry{Neighbor: l.A, Relationship: roleA, Step: step})
+	}
+	for _, row := range links {
+		sort.Slice(row, func(i, j int) bool { return row[i].Neighbor < row[j].Neighbor })
+	}
+
+	clique := res.Clique
+	if clique == nil {
+		clique = []uint32{}
+	}
+	cliqueSet := make(map[uint32]bool, len(clique))
+	for _, m := range clique {
+		cliqueSet[m] = true
+	}
+
+	summaries := make([]asnSummary, n)
+	for i := 0; i < n; i++ {
+		asn := idx.ASN(int32(i))
+		var prov, cust, peer int
+		for _, l := range links[i] {
+			switch l.Relationship {
+			case "provider":
+				prov++
+			case "customer":
+				cust++
+			case "peer":
+				peer++
+			}
+		}
+		summaries[i] = asnSummary{
+			ASN:           asn,
+			Rank:          rankOf[asn],
+			ConeASes:      sizes[asn],
+			ConePrefixes:  int(conePrefixes[i]),
+			TransitDegree: res.TransitDegree[asn],
+			Degree:        res.Degree[asn],
+			Providers:     prov,
+			Customers:     cust,
+			Peers:         peer,
+			InClique:      cliqueSet[asn],
+		}
+	}
+
+	// Pre-serialize every summary (compact). ~100 B per AS; the whole
+	// slab for an 80k-AS Internet is a few MB — cheap insurance that
+	// point lookups never touch the encoder.
+	summaryJSON := make([][]byte, n)
+	pool.Chunks(0, n, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b, err := json.Marshal(summaries[i])
+			if err != nil { // asnSummary is plain ints/bools; cannot fail
+				panic("apiserver: summary marshal: " + err.Error())
+			}
+			summaryJSON[i] = b
+		}
+	})
+
+	d := &Data{
+		res:         res,
+		idx:         idx,
+		bits:        bits,
+		rank:        rank,
+		rankPos:     rankPos,
+		rankOf:      rankOf,
+		summaries:   summaries,
+		summaryJSON: summaryJSON,
+		links:       links,
+		clique:      clique,
+		pathCount:   res.Dataset.NumPaths(),
+	}
+	d.etag = d.computeETag()
+	d.etagHeader = []string{d.etag}
+	d.serializeHot()
+	return d
+}
+
+// computeETag derives the snapshot's strong validator: FNV-1a over
+// every pre-serialized summary in rank order plus the clique and
+// corpus dimensions. Any change to ranks, cones, relationships, or the
+// corpus changes the tag; two identical snapshots produce identical
+// tags regardless of build parallelism.
+func (d *Data) computeETag() string {
+	h := fnv.New64a()
+	var num [8]byte
+	for _, p := range d.rankPos {
+		h.Write(d.summaryJSON[p])
+	}
+	for _, m := range d.clique {
+		binary.LittleEndian.PutUint32(num[:4], m)
+		h.Write(num[:4])
+	}
+	binary.LittleEndian.PutUint64(num[:], uint64(d.pathCount))
+	h.Write(num[:])
+	return `"` + strconv.FormatUint(h.Sum64(), 16) + `"`
+}
+
+// serializeHot pre-renders the responses every cache-cold client asks
+// for first: health, the clique, and the default first list page.
+func (d *Data) serializeHot() {
+	d.healthJSON = mustJSON(map[string]any{
+		"status": "ok",
+		"ases":   len(d.rank),
+		"links":  len(d.res.Rels),
+		"paths":  d.pathCount,
+		"clique": d.clique,
+		"etag":   d.etag,
+	})
+	cl := make([]json.RawMessage, 0, len(d.clique))
+	for _, m := range d.clique {
+		if p, ok := d.idx.Pos(m); ok {
+			cl = append(cl, json.RawMessage(d.summaryJSON[p]))
+		}
+	}
+	d.cliqueJSON = mustJSON(cl)
+	d.firstPageJSON = mustJSON(d.page(0, listDefaultLimit))
+}
+
+func mustJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		panic("apiserver: snapshot serialization: " + err.Error())
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n")
+}
+
+// ETag returns the snapshot's validator (quoted, strong).
+func (d *Data) ETag() string { return d.etag }
+
+// listPage is the JSON shape of one ranked page.
+type listPage struct {
+	Total      int               `json:"total"`
+	Data       []json.RawMessage `json:"data"`
+	NextCursor string            `json:"nextCursor,omitempty"`
+}
+
+// page assembles one ranked page from the pre-serialized summaries.
+// offset is clamped to the ranking; the cursor in the response is the
+// next offset, omitted on the last page.
+func (d *Data) page(offset, limit int) listPage {
+	if offset > len(d.rank) {
+		offset = len(d.rank)
+	}
+	end := offset + limit
+	if end > len(d.rank) {
+		end = len(d.rank)
+	}
+	out := listPage{
+		Total: len(d.rank),
+		Data:  make([]json.RawMessage, 0, end-offset),
+	}
+	for _, p := range d.rankPos[offset:end] {
+		out.Data = append(out.Data, json.RawMessage(d.summaryJSON[p]))
+	}
+	if end < len(d.rank) {
+		out.NextCursor = strconv.Itoa(end)
+	}
+	return out
+}
+
+// ConeContains reports whether member is in asn's customer cone — a
+// two-probe bitset lookup, no allocation.
+func (d *Data) ConeContains(asn, member uint32) bool {
+	return d.bits.Contains(asn, member)
+}
+
+// coneMembers returns asn's cone membership, ascending.
+func (d *Data) coneMembers(asn uint32) []uint32 {
+	return d.bits.Members(asn)
+}
+
+// Summary returns one AS's precomputed summary and whether it exists.
+func (d *Data) Summary(asn uint32) (asnSummary, bool) {
+	p, ok := d.idx.Pos(asn)
+	if !ok {
+		return asnSummary{}, false
+	}
+	return d.summaries[p], true
+}

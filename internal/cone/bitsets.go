@@ -46,6 +46,30 @@ func (bs *BitSets) Sizes() map[uint32]int {
 	return out
 }
 
+// WeightedSizes sums a per-position weight over each cone: out[i] is
+// the total weight of cone i's members, where w is indexed by interned
+// position (w[i] = 0 for unweighted ASes). One parallel pass over the
+// slab replaces a per-query walk — this is how the API server
+// precomputes cone-prefix totals at snapshot build time. w must have
+// at least Len() entries.
+func (bs *BitSets) WeightedSizes(w []int64) []int64 {
+	n := len(bs.cones)
+	out := make([]int64, n)
+	pool.Chunks(bs.workers, n, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum int64
+			for wi, word := range bs.cones[i] {
+				for word != 0 {
+					sum += w[wi<<6+bits.TrailingZeros64(word)]
+					word &= word - 1
+				}
+			}
+			out[i] = sum
+		}
+	})
+	return out
+}
+
 // Members returns asn's cone membership, ascending, or nil when asn is
 // not interned.
 func (bs *BitSets) Members(asn uint32) []uint32 {
