@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint bench bench-api metrics-lint fuzz-smoke trace-demo
+.PHONY: build test check lint bench bench-api bench-store metrics-lint fuzz-smoke trace-demo
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,22 @@ bench-api:
 		|| { kill -INT $$pid; exit 1; }; \
 	kill -INT $$pid; wait $$pid
 	@echo "report in BENCH_api.json"
+
+# Epoch-warehouse benchmark (DESIGN.md §14): infer a deterministic
+# evolving series, append every epoch to a fresh store, and report the
+# storage profile (one full epoch vs the delta chain, bytes/AS),
+# encode/decode MB/s, history/diff query p50/p99, and the per-epoch
+# round-trip ETag proof in BENCH_store.json at the repo root. The
+# committed BENCH_store.json is the reference run at these defaults.
+BENCH_STORE_EPOCHS ?= 12
+BENCH_STORE_SCALE ?= 2000
+
+bench-store:
+	mkdir -p $(BENCHDIR)/bin
+	$(GO) build -o $(BENCHDIR)/bin/ ./cmd/storebench
+	$(BENCHDIR)/bin/storebench -epochs $(BENCH_STORE_EPOCHS) \
+		-scale $(BENCH_STORE_SCALE) -vps 12 -seed 42 -out BENCH_store.json
+	@echo "report in BENCH_store.json"
 
 # Standalone exposition-format gate: the strict Prometheus text-format
 # checks on obs itself plus the end-to-end /metrics surface.

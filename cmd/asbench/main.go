@@ -4,10 +4,13 @@
 // It drives a weighted mix of the production routes — point lookups,
 // cone-membership probes, ranked pages (cursor paging), neighbor
 // lists, bulk lookups, the clique, health — from one goroutine per
-// worker (a pool.Range fan-out, one HTTP connection each). A
-// configurable fraction of requests revalidate with If-None-Match
-// against the snapshot ETag, exercising the 304 path exactly as a
-// well-behaved cache does. Every random decision comes from a
+// worker (a pool.Range fan-out, one HTTP connection each). When the
+// target mounts an epoch warehouse (it answers /api/v1/epochs), the
+// time-travel routes — per-AS history and the epoch list — join the
+// mix too. A configurable fraction of requests revalidate with
+// If-None-Match, exercising the 304 path exactly as a well-behaved
+// cache does: snapshot routes carry the snapshot ETag, time-travel
+// routes the warehouse chain ETag. Every random decision comes from a
 // per-shard LCG seeded from -seed, so two runs against the same
 // snapshot issue the same request sequence.
 //
@@ -59,16 +62,27 @@ const (
 	kindBulk
 	kindClique
 	kindHealth
+	kindHistory
+	kindEpochs
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"point", "coneContains", "list", "links", "cone", "bulk", "clique", "health",
+	"history", "epochs",
 }
 
 // mixWeights is the per-kind share of traffic, summing to 100. Point
-// lookups dominate, as they do against the real AS Rank API.
-var mixWeights = [numKinds]int{35, 15, 15, 10, 10, 5, 5, 5}
+// lookups dominate, as they do against the real AS Rank API. The
+// time-travel kinds (history, epochs) get weight only when the target
+// serves a warehouse — see timeTravelMix — since a store-less asrankd
+// 404s them.
+var mixWeights = [numKinds]int{35, 15, 15, 10, 10, 5, 5, 5, 0, 0}
+
+// timeTravelMix is the mix used when the target answers /api/v1/epochs:
+// the longitudinal routes take their share mostly from point lookups,
+// keeping the sum at 100.
+var timeTravelMix = [numKinds]int{30, 14, 14, 10, 10, 5, 5, 4, 5, 3}
 
 // lcg is a per-shard deterministic generator (Knuth MMIX constants):
 // no shared state, no locks, same stream for the same seed.
@@ -125,6 +139,14 @@ type benchReport struct {
 	CompactSavingsPct float64 `json:"compactSavingsPct"`
 
 	ETag string `json:"etag"`
+
+	// Time-travel workload: populated only when the target serves a
+	// warehouse (answers /api/v1/epochs). Epochs is the stored epoch
+	// count; WarehouseETag is the chain validator those routes carry
+	// instead of the snapshot ETag.
+	TimeTravel    bool   `json:"timeTravel"`
+	Epochs        int    `json:"epochs,omitempty"`
+	WarehouseETag string `json:"warehouseETag,omitempty"`
 }
 
 func main() {
@@ -150,6 +172,14 @@ func main() {
 	}
 	compactBytes := pageBytes(base, "/api/v1/asns")
 	prettyBytes := pageBytes(base, "/api/v1/asns?pretty=1")
+
+	// Probe for the warehouse-backed time-travel routes; with them
+	// present the mix shifts a slice of traffic onto history/epochs.
+	whETag, epochCount := probeTimeTravel(base)
+	mix := mixWeights
+	if epochCount > 0 {
+		mix = timeTravelMix
+	}
 
 	var inj *chaos.Injector
 	dialer := &net.Dialer{Timeout: 10 * time.Second}
@@ -181,14 +211,21 @@ func main() {
 		rng := lcg{x: uint64(*seed)*0x9e3779b97f4a7c15 + uint64(shard+1)}
 		s := &shardStats{status: map[string]int{}}
 		for time.Now().Before(deadline) {
-			kind, url := nextRequest(&rng, base, asns)
+			kind, url := nextRequest(&rng, base, asns, mix)
 			req, err := http.NewRequest("GET", url, nil)
 			if err != nil {
 				log.Fatalf("asbench: %v", err)
 			}
+			// Time-travel routes validate against the warehouse chain
+			// ETag, not the snapshot ETag — revalidating them with the
+			// snapshot validator would never 304.
 			revalidate := kind != kindHealth && rng.intn(1000) < int(*conditional*1000)
 			if revalidate {
-				req.Header.Set("If-None-Match", etag)
+				if kind == kindHistory || kind == kindEpochs {
+					req.Header.Set("If-None-Match", whETag)
+				} else {
+					req.Header.Set("If-None-Match", etag)
+				}
 			}
 			t0 := time.Now()
 			resp, err := client.Do(req)
@@ -215,6 +252,9 @@ func main() {
 	rep.Seed = *seed
 	rep.Conditional = *conditional
 	rep.ETag = etag
+	rep.TimeTravel = epochCount > 0
+	rep.Epochs = epochCount
+	rep.WarehouseETag = whETag
 	rep.CompactPageBytes = compactBytes
 	rep.PrettyPageBytes = prettyBytes
 	if prettyBytes > 0 {
@@ -283,6 +323,33 @@ func sampleSnapshot(base string) (etag string, asns []uint32) {
 	return etag, asns
 }
 
+// probeTimeTravel asks the target for its epoch list. A 200 means a
+// warehouse is mounted: the chain ETag and epoch count come back and
+// the time-travel kinds enter the mix. Any other answer (404 on a
+// store-less asrankd) leaves the classic mix in place.
+func probeTimeTravel(base string) (etag string, epochs int) {
+	resp, err := http.Get(base + "/api/v1/epochs")
+	if err != nil {
+		return "", 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		return "", 0
+	}
+	var page struct {
+		ETag   string            `json:"etag"`
+		Epochs []json.RawMessage `json:"epochs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		log.Fatalf("asbench: decode epochs: %v", err)
+	}
+	if etag = page.ETag; etag == "" {
+		etag = resp.Header.Get("ETag")
+	}
+	return etag, len(page.Epochs)
+}
+
 // pageBytes measures one response body's size.
 func pageBytes(base, path string) int {
 	resp, err := http.Get(base + path)
@@ -298,10 +365,10 @@ func pageBytes(base, path string) int {
 }
 
 // nextRequest draws one request from the weighted mix.
-func nextRequest(rng *lcg, base string, asns []uint32) (reqKind, string) {
+func nextRequest(rng *lcg, base string, asns []uint32, mix [numKinds]int) (reqKind, string) {
 	roll, kind := rng.intn(100), kindHealth
 	for k, acc := reqKind(0), 0; k < numKinds; k++ {
-		acc += mixWeights[k]
+		acc += mix[k]
 		if roll < acc {
 			kind = k
 			break
@@ -330,6 +397,10 @@ func nextRequest(rng *lcg, base string, asns []uint32) (reqKind, string) {
 		return kind, base + "/api/v1/asns?ids=" + strings.Join(ids, ",")
 	case kindClique:
 		return kind, base + "/api/v1/clique"
+	case kindHistory:
+		return kind, base + "/api/v1/asns/" + pick() + "/history"
+	case kindEpochs:
+		return kind, base + "/api/v1/epochs"
 	default:
 		return kindHealth, base + "/api/v1/health"
 	}

@@ -9,6 +9,18 @@
 //	curl http://127.0.0.1:8080/api/v1/asns?limit=10
 //	curl http://127.0.0.1:8080/api/v1/asns/3356/links
 //
+// With -warehouse, every inference is appended to a longitudinal epoch
+// store and the time-travel routes come up; -paths then accepts a
+// comma-separated list of corpora, ingested oldest first, each one an
+// epoch (re-ingesting an unchanged corpus is detected by ETag and
+// skipped). With a warehouse and no corpus at all, asrankd serves the
+// store's latest epoch — the inference that produced it never re-runs:
+//
+//	asrankd -warehouse ./wh -paths jan.txt,feb.txt,mar.txt
+//	curl http://127.0.0.1:8080/api/v1/epochs
+//	curl http://127.0.0.1:8080/api/v1/asns/3356/history
+//	curl 'http://127.0.0.1:8080/api/v1/diff?from=0&to=2'
+//
 // With -debug-listen, a second listener serves operational surfaces:
 //
 //	asrankd -paths paths.txt -debug-listen 127.0.0.1:6060
@@ -35,6 +47,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,16 +56,18 @@ import (
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/trace"
+	"github.com/asrank-go/asrank/internal/warehouse"
 )
 
 func main() {
 	var (
-		pathsFile   = flag.String("paths", "", "text path file (required)")
-		mrtFile     = flag.String("mrt", "", "MRT RIB file (alternative to -paths)")
-		listen      = flag.String("listen", "127.0.0.1:8080", "listen address")
-		debugListen = flag.String("debug-listen", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
-		workers     = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
-		drainWait   = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+		pathsFile    = flag.String("paths", "", "text path file, or a comma-separated epoch sequence with -warehouse")
+		mrtFile      = flag.String("mrt", "", "MRT RIB file (alternative to -paths)")
+		warehouseDir = flag.String("warehouse", "", "epoch warehouse directory: persist every inference, serve time-travel routes (off when empty)")
+		listen       = flag.String("listen", "127.0.0.1:8080", "listen address")
+		debugListen  = flag.String("debug-listen", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
+		workers      = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
+		drainWait    = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 
 		shedConc    = flag.Int("shed-concurrency", 64, "per-route concurrency limit for heavy routes; point lookups get 4x (0 disables shedding)")
 		shedQueue   = flag.Int("shed-queue", 0, "requests allowed to wait for an admission slot (0 = 2x concurrency)")
@@ -60,32 +75,6 @@ func main() {
 		retryAfter  = flag.Duration("shed-retry-after", time.Second, "Retry-After hint on shed 429/503 responses")
 	)
 	flag.Parse()
-
-	var (
-		ds  *paths.Dataset
-		err error
-	)
-	switch {
-	case *pathsFile != "":
-		f, ferr := os.Open(*pathsFile)
-		if ferr != nil {
-			log.Fatalf("asrankd: %v", ferr)
-		}
-		ds, err = paths.Read(f)
-		f.Close()
-	case *mrtFile != "":
-		f, ferr := os.Open(*mrtFile)
-		if ferr != nil {
-			log.Fatalf("asrankd: %v", ferr)
-		}
-		ds, _, err = paths.FromMRT(f, "asrankd")
-		f.Close()
-	default:
-		log.Fatal("asrankd: one of -paths or -mrt is required")
-	}
-	if err != nil {
-		log.Fatalf("asrankd: %v", err)
-	}
 
 	// The tracer exists only when the debug surface does: spans are read
 	// through /debug/trace and /debug/flight, so without a listener a
@@ -96,15 +85,34 @@ func main() {
 		tracer = trace.New(trace.Options{})
 	}
 
-	start := time.Now()
-	startCtx, startSpan := tracer.StartSpan(context.Background(), "asrankd.startup")
-	res := core.InferCtx(startCtx, ds, core.Options{Sanitize: true, Workers: *workers})
-	data := apiserver.Build(res)
-	startSpan.End()
-	log.Printf("asrankd: inferred %d links (clique %v) in %s; snapshot etag %s",
-		len(res.Rels), res.Clique, time.Since(start).Round(time.Millisecond), data.ETag())
+	var store *warehouse.Store
+	if *warehouseDir != "" {
+		var err error
+		store, err = warehouse.Open(*warehouseDir, warehouse.Options{
+			Workers:  *workers,
+			Registry: obs.Default(),
+			Tracer:   tracer,
+		})
+		if err != nil {
+			log.Fatalf("asrankd: %v", err)
+		}
+		log.Printf("asrankd: warehouse %s opened with %d epochs", *warehouseDir, store.Len())
+	}
 
-	handler := apiserver.NewServer(data, apiserver.Config{
+	// Assemble the epoch sequence to ingest. Without a warehouse, -paths
+	// names exactly one corpus, as it always did.
+	var corpora []string
+	if *pathsFile != "" {
+		corpora = strings.Split(*pathsFile, ",")
+		if store == nil && len(corpora) > 1 {
+			log.Fatal("asrankd: multiple -paths corpora require -warehouse")
+		}
+	}
+	if len(corpora) == 0 && *mrtFile == "" && (store == nil || store.Len() == 0) {
+		log.Fatal("asrankd: one of -paths, -mrt, or a non-empty -warehouse is required")
+	}
+
+	cfg := apiserver.Config{
 		Registry: obs.Default(),
 		Tracer:   tracer,
 		Shed: apiserver.ShedPolicy{
@@ -113,10 +121,73 @@ func main() {
 			QueueTimeout:  *shedTimeout,
 			RetryAfter:    *retryAfter,
 		},
-	})
+	}
+	live := apiserver.NewLive(store, cfg)
+
+	// Serve whatever the store already holds before any inference runs,
+	// so restarts come up instantly on the previous epoch.
+	if store != nil {
+		if snap, info, ok := store.Latest(); ok {
+			data := apiserver.BuildSnapshot(snap)
+			live.Swap(data)
+			log.Printf("asrankd: serving stored epoch %d (%s), etag %s", info.ID, info.Label, data.ETag())
+		}
+	}
+
+	// Ingest each corpus as one epoch, hot-swapping the serving snapshot
+	// after every append. An epoch whose ETag matches the store's latest
+	// is a re-ingest and is skipped, keeping restarts idempotent.
+	ingest := func(label string, ds *paths.Dataset) {
+		start := time.Now()
+		startCtx, startSpan := tracer.StartSpan(context.Background(), "asrankd.startup")
+		res := core.InferCtx(startCtx, ds, core.Options{Sanitize: true, Workers: *workers})
+		snap := warehouse.FromResult(res)
+		data := apiserver.BuildSnapshot(snap)
+		startSpan.End()
+		log.Printf("asrankd: %s: inferred %d links (clique %v) in %s; snapshot etag %s",
+			label, len(res.Rels), res.Clique, time.Since(start).Round(time.Millisecond), data.ETag())
+		if store != nil {
+			if _, last, ok := store.Latest(); ok && last.ETag == data.ETag() {
+				log.Printf("asrankd: %s: unchanged from epoch %d, not appending", label, last.ID)
+			} else {
+				info, err := store.Append(snap, label, data.ETag())
+				if err != nil {
+					log.Fatalf("asrankd: %v", err)
+				}
+				log.Printf("asrankd: %s: appended as epoch %d (%s, %d bytes)", label, info.ID, info.Kind, info.Bytes)
+			}
+		}
+		live.Swap(data)
+	}
+
+	for _, corpus := range corpora {
+		f, ferr := os.Open(corpus)
+		if ferr != nil {
+			log.Fatalf("asrankd: %v", ferr)
+		}
+		ds, err := paths.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("asrankd: %v", err)
+		}
+		ingest(corpus, ds)
+	}
+	if len(corpora) == 0 && *mrtFile != "" {
+		f, ferr := os.Open(*mrtFile)
+		if ferr != nil {
+			log.Fatalf("asrankd: %v", ferr)
+		}
+		ds, _, err := paths.FromMRT(f, "asrankd")
+		f.Close()
+		if err != nil {
+			log.Fatalf("asrankd: %v", err)
+		}
+		ingest(*mrtFile, ds)
+	}
+
 	api := &http.Server{
 		Addr:              *listen,
-		Handler:           apiserver.LogRequests(handler),
+		Handler:           apiserver.LogRequests(live),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,

@@ -1,0 +1,270 @@
+// Command storebench measures the epoch warehouse end to end and
+// reports the storage/latency profile as JSON — the longitudinal
+// counterpart of asbench's read-path report.
+//
+// It generates an evolving topology series (the same generator the
+// experiments use), runs collection + sanitization + inference per
+// snapshot, appends every epoch to a fresh warehouse, and then
+// measures what the store costs and what it answers:
+//
+//   - bytes: one full epoch vs the whole delta-encoded chain, total
+//     and per AS — the delta-encoding win the on-disk format exists
+//     for (DESIGN.md §14 budgets the chain at < 3x one full epoch);
+//   - throughput: append (encode + fsync + manifest) and reopen
+//     (decode + CRC + hash verification) in MB/s;
+//   - latency: /history-shaped per-AS trajectory queries and
+//     epoch-to-epoch diffs against the in-memory History index,
+//     p50/p99 in milliseconds;
+//   - fidelity: every stored epoch is decoded back and must rebuild
+//     the exact apiserver snapshot ETag of the inference that
+//     produced it (roundTripETagOK).
+//
+// Usage:
+//
+//	storebench -epochs 12 -scale 2000 -vps 12 -out BENCH_store.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/apiserver"
+	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/warehouse"
+)
+
+// storeReport is the JSON written to -out.
+type storeReport struct {
+	Epochs          int   `json:"epochs"`
+	Scale           int   `json:"scale"`
+	VPs             int   `json:"vps"`
+	Seed            int64 `json:"seed"`
+	CheckpointEvery int   `json:"checkpointEvery"`
+
+	ASes  int `json:"ases"`  // final epoch
+	Links int `json:"links"` // final epoch
+
+	FullEpochBytes  int64   `json:"fullEpochBytes"` // final epoch, encoded full
+	TotalBytes      int64   `json:"totalBytes"`     // the delta-encoded chain
+	SumFullBytes    int64   `json:"sumFullBytes"`   // all epochs encoded full
+	RatioVsFull     float64 `json:"ratioVsFull"`    // totalBytes / fullEpochBytes
+	DeltaSavings    float64 `json:"deltaSavings"`   // totalBytes / sumFullBytes
+	BytesPerASFull  float64 `json:"bytesPerASFull"`
+	BytesPerASDelta float64 `json:"bytesPerASDelta"` // mean over delta epochs
+
+	EncodeMBps float64 `json:"encodeMBps"` // append path: encode + fsync + manifest
+	DecodeMBps float64 `json:"decodeMBps"` // reopen path: parse + CRC + hash + apply deltas
+
+	HistoryLatencyMillis latencyMillis `json:"historyLatencyMillis"`
+	DiffLatencyMillis    latencyMillis `json:"diffLatencyMillis"`
+
+	RoundTripETagOK bool   `json:"roundTripETagOK"`
+	ETag            string `json:"etag"` // final epoch snapshot ETag
+}
+
+type latencyMillis struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+func main() {
+	var (
+		epochs = flag.Int("epochs", 12, "consecutive epochs to store")
+		scale  = flag.Int("scale", 2000, "final topology size (ASes)")
+		vps    = flag.Int("vps", 12, "vantage points per snapshot")
+		seed   = flag.Int64("seed", 42, "deterministic seed")
+		dir    = flag.String("dir", "", "warehouse directory (default: a fresh temp dir, removed on exit)")
+		out    = flag.String("out", "BENCH_store.json", "report output path")
+	)
+	flag.Parse()
+
+	whDir := *dir
+	if whDir == "" {
+		tmp, err := os.MkdirTemp("", "storebench-*")
+		if err != nil {
+			log.Fatalf("storebench: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		whDir = filepath.Join(tmp, "wh")
+	}
+
+	// The series: same generator and per-snapshot collection the
+	// experiments' evolution runners use, so the stored epochs are the
+	// shape the paper's longitudinal figures read.
+	fmt.Fprintf(os.Stderr, "storebench: inferring %d epochs (scale %d, %d VPs)\n", *epochs, *scale, *vps)
+	p := topology.DefaultParams(*seed)
+	p.ASes = *scale
+	e := topology.DefaultEvolveParams()
+	e.Snapshots = *epochs
+	series := topology.GenerateSeries(p, e)
+
+	snaps := make([]*warehouse.Snapshot, len(series))
+	etags := make([]string, len(series))
+	for i, topo := range series {
+		opts := bgpsim.DefaultOptions(*seed + 1000*int64(i))
+		opts.NumVPs = *vps
+		sim, err := bgpsim.Run(topo, opts)
+		if err != nil {
+			log.Fatalf("storebench: epoch %d: %v", i, err)
+		}
+		clean, _ := paths.Sanitize(sim.Dataset, paths.SanitizeOptions{})
+		res := core.Infer(clean, core.Options{})
+		snaps[i] = warehouse.FromResult(res)
+		etags[i] = apiserver.BuildSnapshot(snaps[i]).ETag()
+	}
+
+	store, err := warehouse.Open(whDir, warehouse.Options{})
+	if err != nil {
+		log.Fatalf("storebench: %v", err)
+	}
+
+	// Append path: encode + fsync + manifest rewrite per epoch.
+	t0 := time.Now()
+	for i, snap := range snaps {
+		if _, err := store.Append(snap, fmt.Sprintf("epoch-%02d", i), etags[i]); err != nil {
+			log.Fatalf("storebench: append %d: %v", i, err)
+		}
+	}
+	appendTime := time.Since(t0)
+
+	rep := &storeReport{
+		Epochs: len(snaps), Scale: *scale, VPs: *vps, Seed: *seed,
+		CheckpointEvery: warehouse.DefaultCheckpointEvery,
+		ASes:            snaps[len(snaps)-1].NumASes(),
+		Links:           len(snaps[len(snaps)-1].Links),
+		ETag:            etags[len(etags)-1],
+	}
+
+	var deltaBytes int64
+	var deltaASes int64
+	for _, info := range store.Epochs() {
+		rep.TotalBytes += info.Bytes
+		if info.Kind == "delta" {
+			deltaBytes += info.Bytes
+			deltaASes += int64(info.ASes)
+		}
+	}
+	if deltaASes > 0 {
+		rep.BytesPerASDelta = float64(deltaBytes) / float64(deltaASes)
+	}
+	rep.EncodeMBps = mbps(rep.TotalBytes, appendTime)
+
+	// The all-full baseline: a second store with a checkpoint every
+	// epoch costs what K independent snapshots would. Its last epoch is
+	// "one full epoch" of the topology as it stands at head.
+	fullDir, err := os.MkdirTemp("", "storebench-full-*")
+	if err != nil {
+		log.Fatalf("storebench: %v", err)
+	}
+	defer os.RemoveAll(fullDir)
+	fullStore, err := warehouse.Open(filepath.Join(fullDir, "wh"), warehouse.Options{CheckpointEvery: 1})
+	if err != nil {
+		log.Fatalf("storebench: full baseline: %v", err)
+	}
+	for i, snap := range snaps {
+		info, err := fullStore.Append(snap, fmt.Sprintf("epoch-%02d", i), etags[i])
+		if err != nil {
+			log.Fatalf("storebench: full baseline append %d: %v", i, err)
+		}
+		rep.SumFullBytes += info.Bytes
+		rep.FullEpochBytes = info.Bytes
+	}
+	rep.RatioVsFull = float64(rep.TotalBytes) / float64(rep.FullEpochBytes)
+	rep.DeltaSavings = float64(rep.TotalBytes) / float64(rep.SumFullBytes)
+	rep.BytesPerASFull = float64(rep.FullEpochBytes) / float64(snaps[len(snaps)-1].NumASes())
+
+	// Reopen path: every segment re-parsed, CRC- and hash-verified, and
+	// the delta chain re-applied — the cost of a cold asrankd restart.
+	t0 = time.Now()
+	reopened, err := warehouse.Open(whDir, warehouse.Options{})
+	if err != nil {
+		log.Fatalf("storebench: reopen: %v", err)
+	}
+	rep.DecodeMBps = mbps(rep.TotalBytes, time.Since(t0))
+	if reopened.Len() != len(snaps) {
+		log.Fatalf("storebench: reopen lost epochs: %d of %d", reopened.Len(), len(snaps))
+	}
+
+	// Fidelity: each stored epoch must rebuild the exact snapshot ETag
+	// of the inference that produced it.
+	rep.RoundTripETagOK = true
+	for i := range snaps {
+		dec, err := reopened.Snapshot(uint32(i))
+		if err != nil {
+			log.Fatalf("storebench: decode epoch %d: %v", i, err)
+		}
+		if got := apiserver.BuildSnapshot(dec).ETag(); got != etags[i] {
+			fmt.Fprintf(os.Stderr, "storebench: epoch %d round-trip ETag mismatch: %s != %s\n", i, got, etags[i])
+			rep.RoundTripETagOK = false
+		}
+	}
+
+	// Query latencies against the History index, the way the
+	// time-travel routes read it.
+	h := reopened.History()
+	last := snaps[len(snaps)-1]
+	rng := uint64(*seed)
+	histSamples := make([]time.Duration, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		asn := last.ASNs[int((rng>>11)%uint64(len(last.ASNs)))]
+		q0 := time.Now()
+		if eps := h.ASN(asn); len(eps) != len(snaps) {
+			log.Fatalf("storebench: history of AS%d has %d epochs, want %d", asn, len(eps), len(snaps))
+		}
+		histSamples = append(histSamples, time.Since(q0))
+	}
+	rep.HistoryLatencyMillis = quantiles(histSamples)
+
+	diffSamples := make([]time.Duration, 0, 200)
+	for i := 0; i < 200; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		from := uint32((rng >> 11) % uint64(len(snaps)-1))
+		rng = rng*6364136223846793005 + 1442695040888963407
+		to := from + 1 + uint32((rng>>11)%uint64(len(snaps)-int(from)-1))
+		q0 := time.Now()
+		if _, err := h.Diff(from, to); err != nil {
+			log.Fatalf("storebench: diff %d..%d: %v", from, to, err)
+		}
+		diffSamples = append(diffSamples, time.Since(q0))
+	}
+	rep.DiffLatencyMillis = quantiles(diffSamples)
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("storebench: encode report: %v", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatalf("storebench: write %s: %v", *out, err)
+	}
+	fmt.Printf("storebench: %d epochs, %d bytes total (%.2fx one full epoch), encode %.1f MB/s decode %.1f MB/s, history p99 %.3fms -> %s\n",
+		rep.Epochs, rep.TotalBytes, rep.RatioVsFull, rep.EncodeMBps, rep.DecodeMBps, rep.HistoryLatencyMillis.P99, *out)
+	if !rep.RoundTripETagOK {
+		os.Exit(1)
+	}
+}
+
+func mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / d.Seconds()
+}
+
+func quantiles(samples []time.Duration) latencyMillis {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(q float64) float64 {
+		return float64(samples[int(q*float64(len(samples)-1))]) / float64(time.Millisecond)
+	}
+	return latencyMillis{P50: pct(0.50), P99: pct(0.99)}
+}

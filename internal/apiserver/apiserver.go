@@ -33,6 +33,7 @@ import (
 
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/trace"
+	"github.com/asrank-go/asrank/internal/warehouse"
 )
 
 // asnSummary is the JSON shape of one ranked AS.
@@ -92,6 +93,15 @@ func NewHandlerTraced(d *Data, reg *obs.Registry, tr *trace.Tracer) http.Handler
 // admission gate → handler, so shed rejections are counted and traced
 // like any other response.
 func NewServer(d *Data, cfg Config) http.Handler {
+	return NewServerWithStore(d, nil, cfg)
+}
+
+// NewServerWithStore is NewServer plus the time-travel routes
+// (/epochs, /asns/{asn}/history, /diff) over an epoch warehouse; a nil
+// store yields exactly the NewServer route table. The history routes
+// run behind the same span → metrics → admission stack, under the
+// warehouse chain ETag instead of the snapshot ETag.
+func NewServerWithStore(d *Data, st *warehouse.Store, cfg Config) http.Handler {
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.Default()
@@ -111,6 +121,12 @@ func NewServer(d *Data, cfg Config) http.Handler {
 	handle("/api/v1/asns/{asn}/links", heavy, d.handleLinks)
 	handle("/api/v1/asns/{asn}/cone", heavy, d.handleCone)
 	handle("/api/v1/asns/{asn}/cone/contains/{member}", light, d.handleConeContains)
+	if st != nil {
+		tt := &timeTravel{store: st}
+		handle("/api/v1/epochs", light, tt.handleEpochs)
+		handle("/api/v1/asns/{asn}/history", heavy, tt.handleHistory)
+		handle("/api/v1/diff", heavy, tt.handleDiff)
+	}
 	return mux
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"hash/fnv"
+	mathbits "math/bits"
 	"sort"
 	"strconv"
 
@@ -12,7 +13,7 @@ import (
 	"github.com/asrank-go/asrank/internal/cone"
 	"github.com/asrank-go/asrank/internal/core"
 	"github.com/asrank-go/asrank/internal/pool"
-	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/warehouse"
 )
 
 // Data is the immutable snapshot the handlers serve. Everything a
@@ -26,7 +27,6 @@ import (
 // response; swapping in a new snapshot changes the ETag and invalidates
 // client caches atomically.
 type Data struct {
-	res  *core.Result
 	idx  *asindex.Index
 	bits *cone.BitSets
 
@@ -40,6 +40,7 @@ type Data struct {
 	clique      []uint32 // never nil
 
 	pathCount int
+	numRels   int
 
 	etag       string   // strong validator, quoted
 	etagHeader []string // shared header value slice for alloc-free sets
@@ -55,60 +56,56 @@ const listDefaultLimit = 50
 
 // Build precomputes the API snapshot from an inference result. The
 // result's Dataset must be populated (as core.Infer leaves it). Build
-// is the only expensive call — handlers never recompute.
+// is the only expensive call — handlers never recompute. It is now a
+// thin composition over the warehouse's columnar form, which is what
+// guarantees that a snapshot persisted to the epoch store and decoded
+// back serves byte-identical responses (same ETag): both paths flow
+// through BuildSnapshot.
 func Build(res *core.Result) *Data {
-	rels := cone.NewRelations(res.Rels)
-	bits := rels.ProviderPeerObservedBits(res.Dataset)
-	idx := bits.Index()
+	return BuildSnapshot(warehouse.FromResult(res))
+}
+
+// BuildSnapshot precomputes the API snapshot from a columnar warehouse
+// snapshot — freshly converted from an inference result or decoded
+// from the epoch store; the two are indistinguishable here.
+func BuildSnapshot(snap *warehouse.Snapshot) *Data {
+	idx := asindex.FromSorted(snap.ASNs)
+	bits := cone.FromSlab(idx, snap.ConeWords, 0)
 	n := idx.Len()
 
-	sizes := bits.Sizes()
-	rank := cone.Rank(sizes, res.TransitDegree)
+	rank := make([]uint32, len(snap.RankPos))
+	rankPos := append([]int32(nil), snap.RankPos...)
 	rankOf := make(map[uint32]int, len(rank))
-	rankPos := make([]int32, len(rank))
-	for i, asn := range rank {
+	for i, p := range snap.RankPos {
+		asn := snap.ASNs[p]
+		rank[i] = asn
 		rankOf[asn] = i + 1
-		p, _ := idx.Pos(asn)
-		rankPos[i] = p
 	}
 
-	// Cone-prefix totals: one parallel pass over the bitset slab,
-	// replacing the per-request cone walk.
-	prefixes := cone.PrefixCounts(res.Dataset)
-	weights := make([]int64, n)
-	for asn, c := range prefixes {
-		if p, ok := idx.Pos(asn); ok {
-			weights[p] = int64(c)
-		}
-	}
-	conePrefixes := bits.WeightedSizes(weights)
-
-	// Neighbor lists and relationship counts: one pass over the
-	// relationship map (instead of three full scans per summary).
+	// Neighbor lists from the sorted link column: each link feeds both
+	// endpoints' rows.
 	links := make([][]linkEntry, n)
-	for l, rel := range res.Rels {
-		pa, _ := idx.Pos(l.A)
-		pb, _ := idx.Pos(l.B)
-		step := res.Steps[l].String()
+	for _, l := range snap.Links {
+		step := snap.StepNames[l.Step]
 		var roleB, roleA string // role of the neighbor, relative to the queried AS
-		switch rel {
-		case topology.P2C: // A provides B
+		switch l.Rel {
+		case warehouse.RelAProvB:
 			roleB, roleA = "customer", "provider"
-		case topology.C2P: // B provides A
+		case warehouse.RelBProvA:
 			roleB, roleA = "provider", "customer"
-		case topology.P2P:
+		case warehouse.RelPeer:
 			roleB, roleA = "peer", "peer"
 		default:
 			continue
 		}
-		links[pa] = append(links[pa], linkEntry{Neighbor: l.B, Relationship: roleB, Step: step})
-		links[pb] = append(links[pb], linkEntry{Neighbor: l.A, Relationship: roleA, Step: step})
+		links[l.A] = append(links[l.A], linkEntry{Neighbor: snap.ASNs[l.B], Relationship: roleB, Step: step})
+		links[l.B] = append(links[l.B], linkEntry{Neighbor: snap.ASNs[l.A], Relationship: roleA, Step: step})
 	}
 	for _, row := range links {
 		sort.Slice(row, func(i, j int) bool { return row[i].Neighbor < row[j].Neighbor })
 	}
 
-	clique := res.Clique
+	clique := snap.Clique
 	if clique == nil {
 		clique = []uint32{}
 	}
@@ -117,9 +114,9 @@ func Build(res *core.Result) *Data {
 		cliqueSet[m] = true
 	}
 
+	wps := snap.WordsPerCone()
 	summaries := make([]asnSummary, n)
 	for i := 0; i < n; i++ {
-		asn := idx.ASN(int32(i))
 		var prov, cust, peer int
 		for _, l := range links[i] {
 			switch l.Relationship {
@@ -131,13 +128,18 @@ func Build(res *core.Result) *Data {
 				peer++
 			}
 		}
+		coneASes := 0
+		for _, w := range snap.ConeWords[i*wps : (i+1)*wps] {
+			coneASes += mathbits.OnesCount64(w)
+		}
+		asn := snap.ASNs[i]
 		summaries[i] = asnSummary{
 			ASN:           asn,
 			Rank:          rankOf[asn],
-			ConeASes:      sizes[asn],
-			ConePrefixes:  int(conePrefixes[i]),
-			TransitDegree: res.TransitDegree[asn],
-			Degree:        res.Degree[asn],
+			ConeASes:      coneASes,
+			ConePrefixes:  int(snap.ConePrefixes[i]),
+			TransitDegree: int(snap.TransitDegree[i]),
+			Degree:        int(snap.Degree[i]),
 			Providers:     prov,
 			Customers:     cust,
 			Peers:         peer,
@@ -160,7 +162,6 @@ func Build(res *core.Result) *Data {
 	})
 
 	d := &Data{
-		res:         res,
 		idx:         idx,
 		bits:        bits,
 		rank:        rank,
@@ -170,7 +171,8 @@ func Build(res *core.Result) *Data {
 		summaryJSON: summaryJSON,
 		links:       links,
 		clique:      clique,
-		pathCount:   res.Dataset.NumPaths(),
+		pathCount:   int(snap.PathCount),
+		numRels:     int(snap.NumRels),
 	}
 	d.etag = d.computeETag()
 	d.etagHeader = []string{d.etag}
@@ -204,7 +206,7 @@ func (d *Data) serializeHot() {
 	d.healthJSON = mustJSON(map[string]any{
 		"status": "ok",
 		"ases":   len(d.rank),
-		"links":  len(d.res.Rels),
+		"links":  d.numRels,
 		"paths":  d.pathCount,
 		"clique": d.clique,
 		"etag":   d.etag,

@@ -1,0 +1,163 @@
+package apiserver
+
+import (
+	"net/http"
+	"sync/atomic"
+
+	"github.com/asrank-go/asrank/internal/warehouse"
+)
+
+// Time-travel routes (all GET, all behind the same shed/metrics/trace
+// stack as the snapshot routes):
+//
+//	/api/v1/epochs                     every stored epoch: id, label, sizes, hashes
+//	/api/v1/asns/{asn}/history         one AS across all epochs: rank, cone, changes
+//	/api/v1/diff?from=&to=             net relationship changes between two epochs
+//
+// They serve from the warehouse's in-memory History index — folded
+// from the stored deltas, never by re-running inference — under the
+// warehouse chain ETag: a strong validator over every epoch's content
+// hash, so appending an epoch (or recovery dropping one) invalidates
+// all cached time-travel responses together while leaving the
+// per-snapshot ETag of the point-lookup routes untouched.
+
+// timeTravel binds the history routes to a store. Each request reads
+// the store's current History pointer, so handlers observe appends
+// without any rebuild.
+type timeTravel struct {
+	store *warehouse.Store
+}
+
+// histNotModified answers conditional requests against the chain ETag.
+func histNotModified(w http.ResponseWriter, r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" || !etagMatch(inm, etag) {
+		return false
+	}
+	w.Header().Set("Etag", etag)
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+func setChainTag(w http.ResponseWriter, etag string) {
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	h.Set("Etag", etag)
+}
+
+// epochsResponse is the JSON shape of /epochs.
+type epochsResponse struct {
+	ETag   string                `json:"etag"`
+	Epochs []warehouse.EpochInfo `json:"epochs"`
+}
+
+func (tt *timeTravel) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	h := tt.store.History()
+	if histNotModified(w, r, h.ETag()) {
+		return
+	}
+	eps := h.Epochs()
+	if eps == nil {
+		eps = []warehouse.EpochInfo{}
+	}
+	setChainTag(w, h.ETag())
+	writeJSON(w, wantPretty(r), epochsResponse{ETag: h.ETag(), Epochs: eps})
+}
+
+// historyResponse is the JSON shape of /asns/{asn}/history.
+type historyResponse struct {
+	ASN    uint32               `json:"asn"`
+	Epochs []warehouse.ASNEpoch `json:"epochs"`
+}
+
+func (tt *timeTravel) handleHistory(w http.ResponseWriter, r *http.Request) {
+	asn, ok := parseASN(r.PathValue("asn"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad AS number")
+		return
+	}
+	h := tt.store.History()
+	if histNotModified(w, r, h.ETag()) {
+		return
+	}
+	epochs := h.ASN(asn)
+	seen := false
+	for _, e := range epochs {
+		if e.Present {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		writeError(w, http.StatusNotFound, "AS not observed in any stored epoch")
+		return
+	}
+	setChainTag(w, h.ETag())
+	writeJSON(w, wantPretty(r), historyResponse{ASN: asn, Epochs: epochs})
+}
+
+// diffResponse is the JSON shape of /diff.
+type diffResponse struct {
+	From    uint32                `json:"from"`
+	To      uint32                `json:"to"`
+	Changes []warehouse.RelChange `json:"changes"`
+}
+
+func (tt *timeTravel) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, ok1 := parseASN(q.Get("from"))
+	to, ok2 := parseASN(q.Get("to"))
+	if !ok1 || !ok2 {
+		writeError(w, http.StatusBadRequest, "from and to must be epoch ids (integers)")
+		return
+	}
+	h := tt.store.History()
+	if histNotModified(w, r, h.ETag()) {
+		return
+	}
+	changes, err := h.Diff(from, to)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if changes == nil {
+		changes = []warehouse.RelChange{}
+	}
+	setChainTag(w, h.ETag())
+	writeJSON(w, wantPretty(r), diffResponse{From: from, To: to, Changes: changes})
+}
+
+// Live is the hot-swappable serving surface asrankd mounts: an
+// http.Handler whose entire route table (snapshot routes + time-travel
+// routes) is rebuilt around each new snapshot and swapped in with one
+// atomic pointer store. Requests in flight keep the handler they
+// started on; new requests see the new epoch — the same immutability
+// contract as Data, lifted to the whole mux.
+type Live struct {
+	cfg   Config
+	store *warehouse.Store
+	cur   atomic.Pointer[http.Handler]
+}
+
+// NewLive returns a Live surface over an optional warehouse (nil
+// disables the time-travel routes). Until the first Swap it answers
+// 503 on every route.
+func NewLive(st *warehouse.Store, cfg Config) *Live {
+	lv := &Live{cfg: cfg, store: st}
+	var warming http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded yet")
+	})
+	lv.cur.Store(&warming)
+	return lv
+}
+
+// Swap atomically replaces the serving snapshot.
+func (lv *Live) Swap(d *Data) {
+	h := NewServerWithStore(d, lv.store, lv.cfg)
+	lv.cur.Store(&h)
+}
+
+func (lv *Live) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*lv.cur.Load()).ServeHTTP(w, r)
+}

@@ -38,6 +38,21 @@ func New(asns []uint32) *Index {
 	return ix
 }
 
+// FromSorted builds an index over ASNs that are already strictly
+// ascending — the stable intern-order serialization seam: an index
+// round-tripped through storage as its sorted ASN column rebuilds
+// bit-for-bit without re-sorting. The input is copied, not retained.
+// Callers own the ordering contract (the warehouse decoder validates
+// it while parsing); FromSorted itself trusts its input.
+func FromSorted(asns []uint32) *Index {
+	out := append([]uint32(nil), asns...)
+	ix := &Index{asns: out, pos: make(map[uint32]int32, len(out))}
+	for i, a := range out {
+		ix.pos[a] = int32(i)
+	}
+	return ix
+}
+
 // FromSet builds an index over the keys of set.
 func FromSet(set map[uint32]bool) *Index {
 	asns := make([]uint32, 0, len(set))

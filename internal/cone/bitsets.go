@@ -70,6 +70,34 @@ func (bs *BitSets) WeightedSizes(w []int64) []int64 {
 	return out
 }
 
+// ExportSlab copies the cones into one contiguous word slab in
+// interned-position order — the serialization seam the epoch warehouse
+// persists. The slab holds Len() cones of wordsPerSet words each;
+// cone i occupies words [i*wordsPerSet, (i+1)*wordsPerSet).
+func (bs *BitSets) ExportSlab() (words []uint64, wordsPerSet int) {
+	wordsPerSet = (bs.idx.Len() + 63) / 64
+	words = make([]uint64, wordsPerSet*len(bs.cones))
+	for i, c := range bs.cones {
+		copy(words[i*wordsPerSet:(i+1)*wordsPerSet], c)
+	}
+	return words, wordsPerSet
+}
+
+// FromSlab is the inverse of ExportSlab: it rebuilds a BitSets over idx
+// from a contiguous word slab (one cone of (Len()+63)/64 words per
+// interned position). The slab is carved, not copied; callers hand over
+// ownership. workers bounds the parallel size/materialization passes
+// (<= 0 selects GOMAXPROCS).
+func FromSlab(idx *asindex.Index, words []uint64, workers int) *BitSets {
+	n := idx.Len()
+	wps := (n + 63) / 64
+	cones := make([]asindex.Bitset, n)
+	for i := 0; i < n; i++ {
+		cones[i] = asindex.Bitset(words[i*wps : (i+1)*wps : (i+1)*wps])
+	}
+	return &BitSets{idx: idx, cones: cones, workers: workers}
+}
+
 // Members returns asn's cone membership, ascending, or nil when asn is
 // not interned.
 func (bs *BitSets) Members(asn uint32) []uint32 {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"github.com/asrank-go/asrank/internal/bgpsim"
@@ -79,18 +80,28 @@ func R07ConeDefinitions(l *Lab) *Report {
 	}
 }
 
-// snapshotCones computes per-snapshot PP-cone sizes; shared by R8/R9.
+// snapshotCones derives per-snapshot PP-cone sizes and transit degrees
+// from the epoch series (warehouse-backed when configured); shared by
+// R8/R9. The cone slab popcount is the same PP-observed definition the
+// per-snapshot inference produced.
 func snapshotCones(l *Lab) ([]map[uint32]int, []map[uint32]int) {
-	series := l.Series()
-	ppSizes := make([]map[uint32]int, len(series))
-	tds := make([]map[uint32]int, len(series))
-	for i, topo := range series {
-		sim := mustRun(topo, simOptsFor(l, int64(i)))
-		clean, _ := paths.Sanitize(sim.Dataset, paths.SanitizeOptions{})
-		res := core.Infer(clean, core.Options{})
-		rels := cone.NewRelations(res.Rels)
-		ppSizes[i] = rels.ProviderPeerObserved(res.Dataset).Sizes()
-		tds[i] = res.TransitDegree
+	snaps := l.EpochSnapshots()
+	ppSizes := make([]map[uint32]int, len(snaps))
+	tds := make([]map[uint32]int, len(snaps))
+	for i, snap := range snaps {
+		pp := make(map[uint32]int, snap.NumASes())
+		td := make(map[uint32]int, snap.NumASes())
+		wps := snap.WordsPerCone()
+		for p, asn := range snap.ASNs {
+			c := 0
+			for _, w := range snap.ConeWords[p*wps : (p+1)*wps] {
+				c += bits.OnesCount64(w)
+			}
+			pp[asn] = c
+			td[asn] = int(snap.TransitDegree[p])
+		}
+		ppSizes[i] = pp
+		tds[i] = td
 	}
 	return ppSizes, tds
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/asrank-go/asrank/internal/baseline"
-	"github.com/asrank-go/asrank/internal/core"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/stats"
 	"github.com/asrank-go/asrank/internal/topology"
@@ -72,28 +71,26 @@ func R02PipelineSteps(l *Lab) *Report {
 func R03CliqueEvolution(l *Lab) *Report {
 	series := l.Series()
 	labels := l.SeriesLabels()
+	snaps := l.EpochSnapshots()
 	sizeTrue := make([]float64, len(series))
 	sizeInferred := make([]float64, len(series))
 	precision := make([]float64, len(series))
 	for i, topo := range series {
-		opts := simOptsFor(l, int64(i))
-		sim := mustRun(topo, opts)
-		clean, _ := paths.Sanitize(sim.Dataset, paths.SanitizeOptions{})
-		res := core.Infer(clean, core.Options{})
+		clique := snaps[i].Clique
 		tier1 := map[uint32]bool{}
 		for _, a := range topo.Tier1s() {
 			tier1[a] = true
 		}
 		ok := 0
-		for _, m := range res.Clique {
+		for _, m := range clique {
 			if tier1[m] {
 				ok++
 			}
 		}
 		sizeTrue[i] = float64(len(tier1))
-		sizeInferred[i] = float64(len(res.Clique))
-		if len(res.Clique) > 0 {
-			precision[i] = float64(ok) / float64(len(res.Clique))
+		sizeInferred[i] = float64(len(clique))
+		if len(clique) > 0 {
+			precision[i] = float64(ok) / float64(len(clique))
 		}
 	}
 	return &Report{

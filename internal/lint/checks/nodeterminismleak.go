@@ -11,7 +11,9 @@ import (
 // inference and chaos paths: chaos.Schedule() must equal the journal a
 // proxied run writes, and Infer must be byte-identical at any worker
 // count. Inside the deterministic packages (internal/core,
-// internal/cone, internal/chaos, internal/paths) the analyzer flags:
+// internal/cone, internal/chaos, internal/paths, internal/warehouse —
+// the last because the epoch store's encode/decode must be
+// byte-identical for the round-trip ETag proof) the analyzer flags:
 //
 //   - time.Now / time.Since, unless the value demonstrably flows only
 //     into duration instrumentation (x := time.Now() used solely by
@@ -41,6 +43,7 @@ var DeterministicPackages = []string{
 	"internal/cone",
 	"internal/chaos",
 	"internal/paths",
+	"internal/warehouse",
 }
 
 // instrumentationSinks are method names whose argument is considered

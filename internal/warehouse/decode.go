@@ -1,0 +1,698 @@
+package warehouse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+)
+
+// segHeader is the fixed-size decoded prefix of a segment file.
+type segHeader struct {
+	kind        byte
+	epoch, base uint32
+}
+
+const segHeaderSize = 8 + 2 + 1 + 4 + 4 + 4 // magic, version, kind, epoch, base, crc
+
+// decodeReader walks a byte image with offset-carrying errors — every
+// failure names the byte offset so a corrupted segment is diagnosable
+// from the error string alone.
+type decodeReader struct {
+	buf []byte
+	off int
+}
+
+func (r *decodeReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("warehouse: truncated uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *decodeReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("warehouse: truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *decodeReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("warehouse: need %d bytes at offset %d, have %d", n, r.off, len(r.buf)-r.off)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// parseSegment validates a raw segment image end to end: header CRC,
+// per-block CRCs, and the fnv64a trailer. It returns the header, the
+// column payloads, and the content hash. Any framing or checksum
+// failure returns an error (the store's recovery path treats that as
+// "this epoch never landed").
+func parseSegment(raw []byte) (segHeader, map[byte][]byte, uint64, error) {
+	var hdr segHeader
+	if len(raw) < segHeaderSize {
+		return hdr, nil, 0, fmt.Errorf("warehouse: segment too short: %d bytes, want header of %d", len(raw), segHeaderSize)
+	}
+	if string(raw[:8]) != string(segMagic[:]) {
+		return hdr, nil, 0, fmt.Errorf("warehouse: bad magic at offset 0: %q", raw[:8])
+	}
+	if v := binary.LittleEndian.Uint16(raw[8:]); v != segVersion {
+		return hdr, nil, 0, fmt.Errorf("warehouse: unsupported segment version %d at offset 8", v)
+	}
+	hdr.kind = raw[10]
+	hdr.epoch = binary.LittleEndian.Uint32(raw[11:])
+	hdr.base = binary.LittleEndian.Uint32(raw[15:])
+	if got, want := binary.LittleEndian.Uint32(raw[19:]), crc32.ChecksumIEEE(raw[:19]); got != want {
+		return hdr, nil, 0, fmt.Errorf("warehouse: header crc mismatch at offset 19: got %08x want %08x", got, want)
+	}
+	if hdr.kind != kindFull && hdr.kind != kindDelta {
+		return hdr, nil, 0, fmt.Errorf("warehouse: unknown segment kind %d at offset 10", hdr.kind)
+	}
+
+	cols := make(map[byte][]byte)
+	r := &decodeReader{buf: raw, off: segHeaderSize}
+	for {
+		blockStart := r.off
+		idb, err := r.bytes(1)
+		if err != nil {
+			return hdr, nil, 0, fmt.Errorf("warehouse: segment ends without trailer: %w", err)
+		}
+		id := idb[0]
+		n, err := r.uvarint()
+		if err != nil {
+			return hdr, nil, 0, fmt.Errorf("warehouse: block %d at offset %d: %w", id, blockStart, err)
+		}
+		payload, err := r.bytes(int(n))
+		if err != nil {
+			return hdr, nil, 0, fmt.Errorf("warehouse: block %d payload at offset %d: %w", id, blockStart, err)
+		}
+		crcb, err := r.bytes(4)
+		if err != nil {
+			return hdr, nil, 0, fmt.Errorf("warehouse: block %d crc at offset %d: %w", id, blockStart, err)
+		}
+		if got, want := binary.LittleEndian.Uint32(crcb), crc32.ChecksumIEEE(payload); got != want {
+			return hdr, nil, 0, fmt.Errorf("warehouse: block %d crc mismatch at offset %d: got %08x want %08x", id, blockStart, got, want)
+		}
+		if id == trailerCol {
+			if len(payload) != trailerSize {
+				return hdr, nil, 0, fmt.Errorf("warehouse: trailer at offset %d has %d bytes, want %d", blockStart, len(payload), trailerSize)
+			}
+			h := fnv.New64a()
+			h.Write(raw[:blockStart])
+			if got, want := binary.LittleEndian.Uint64(payload), h.Sum64(); got != want {
+				return hdr, nil, 0, fmt.Errorf("warehouse: trailer hash mismatch at offset %d: got %016x want %016x", blockStart, got, want)
+			}
+			if r.off != len(raw) {
+				return hdr, nil, 0, fmt.Errorf("warehouse: %d trailing bytes after trailer at offset %d", len(raw)-r.off, r.off)
+			}
+			return hdr, cols, binary.LittleEndian.Uint64(payload), nil
+		}
+		if _, dup := cols[id]; dup {
+			return hdr, nil, 0, fmt.Errorf("warehouse: duplicate block %d at offset %d", id, blockStart)
+		}
+		cols[id] = payload
+	}
+}
+
+// col fetches a required column payload.
+func col(cols map[byte][]byte, id byte) ([]byte, error) {
+	p, ok := cols[id]
+	if !ok {
+		return nil, fmt.Errorf("warehouse: missing column %d", id)
+	}
+	return p, nil
+}
+
+// --- column decoders --------------------------------------------------
+
+func decodeAscendingU32(payload []byte, id byte) ([]uint32, error) {
+	r := &decodeReader{buf: payload}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: column %d count: %w", id, err)
+	}
+	out := make([]uint32, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: column %d entry %d: %w", id, i, err)
+		}
+		v := prev + d
+		if i > 0 && d == 0 {
+			return nil, fmt.Errorf("warehouse: column %d entry %d: not strictly ascending", id, i)
+		}
+		if v > 0xFFFFFFFF {
+			return nil, fmt.Errorf("warehouse: column %d entry %d: value %d overflows uint32", id, i, v)
+		}
+		out = append(out, uint32(v))
+		prev = v
+	}
+	return out, nil
+}
+
+func decodeI32Column(payload []byte, n int, id byte) ([]int32, error) {
+	r := &decodeReader{buf: payload}
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		v, err := r.varint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: column %d entry %d: %w", id, i, err)
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}
+
+func decodeI64Column(payload []byte, n int, id byte) ([]int64, error) {
+	r := &decodeReader{buf: payload}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		v, err := r.varint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: column %d entry %d: %w", id, i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func decodeStepNames(payload []byte) ([]string, error) {
+	r := &decodeReader{buf: payload}
+	cnt, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: step-name column count: %w", err)
+	}
+	out := make([]string, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: step-name %d length: %w", i, err)
+		}
+		b, err := r.bytes(int(l))
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: step-name %d: %w", i, err)
+		}
+		out = append(out, string(b))
+	}
+	return out, nil
+}
+
+func decodeLinks(payload []byte, n, steps int, id byte) ([]LinkRec, error) {
+	r := &decodeReader{buf: payload}
+	cnt, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: link column %d count: %w", id, err)
+	}
+	out := make([]LinkRec, 0, cnt)
+	prevA := int32(0)
+	for i := uint64(0); i < cnt; i++ {
+		dA, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: link column %d entry %d: %w", id, i, err)
+		}
+		b, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: link column %d entry %d: %w", id, i, err)
+		}
+		code, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: link column %d entry %d: %w", id, i, err)
+		}
+		a := prevA + int32(dA)
+		rel := RelCode(code & 3)
+		step := code >> 2
+		if int(a) >= n || int(b) >= n {
+			return nil, fmt.Errorf("warehouse: link column %d entry %d: positions (%d,%d) out of range [0,%d)", id, i, a, b, n)
+		}
+		if rel == 0 || rel > RelPeer {
+			return nil, fmt.Errorf("warehouse: link column %d entry %d: invalid relationship code %d", id, i, rel)
+		}
+		if int(step) >= steps {
+			return nil, fmt.Errorf("warehouse: link column %d entry %d: step %d out of range [0,%d)", id, i, step, steps)
+		}
+		out = append(out, LinkRec{A: a, B: int32(b), Rel: rel, Step: uint8(step)})
+		prevA = a
+	}
+	return out, nil
+}
+
+func decodePosPairs(payload []byte, n int) ([]posPair, error) {
+	r := &decodeReader{buf: payload}
+	cnt, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: removed-link column count: %w", err)
+	}
+	out := make([]posPair, 0, cnt)
+	prevA := int32(0)
+	for i := uint64(0); i < cnt; i++ {
+		dA, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: removed-link entry %d: %w", i, err)
+		}
+		b, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: removed-link entry %d: %w", i, err)
+		}
+		a := prevA + int32(dA)
+		if int(a) >= n || int(b) >= n {
+			return nil, fmt.Errorf("warehouse: removed-link entry %d: positions (%d,%d) out of range [0,%d)", i, a, b, n)
+		}
+		out = append(out, posPair{A: a, B: int32(b)})
+		prevA = a
+	}
+	return out, nil
+}
+
+func decodeWordsRLE(payload []byte, id byte) ([]uint64, error) {
+	r := &decodeReader{buf: payload}
+	total, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: slab column %d count: %w", id, err)
+	}
+	out := make([]uint64, 0, total)
+	for uint64(len(out)) < total {
+		flag, err := r.bytes(1)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: slab column %d run flag: %w", id, err)
+		}
+		run, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: slab column %d run length: %w", id, err)
+		}
+		if run == 0 || uint64(len(out))+run > total {
+			return nil, fmt.Errorf("warehouse: slab column %d run of %d words overruns total %d at word %d", id, run, total, len(out))
+		}
+		switch flag[0] {
+		case 0:
+			out = out[:uint64(len(out))+run]
+		case 1:
+			raw, err := r.bytes(int(run) * 8)
+			if err != nil {
+				return nil, fmt.Errorf("warehouse: slab column %d literal run: %w", id, err)
+			}
+			for i := uint64(0); i < run; i++ {
+				out = append(out, binary.LittleEndian.Uint64(raw[i*8:]))
+			}
+		default:
+			return nil, fmt.Errorf("warehouse: slab column %d: unknown run flag %d", id, flag[0])
+		}
+	}
+	return out, nil
+}
+
+// decodeBitGaps rebuilds a word slab from its flipped-bit gap list
+// (the dcolConeXor encoding).
+func decodeBitGaps(payload []byte, id byte) ([]uint64, error) {
+	r := &decodeReader{buf: payload}
+	total, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: bit column %d count: %w", id, err)
+	}
+	out := make([]uint64, total)
+	limit := total * 64
+	prev, first := uint64(0), true
+	for r.off < len(r.buf) {
+		gap, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: bit column %d gap: %w", id, err)
+		}
+		if !first && gap == 0 {
+			return nil, fmt.Errorf("warehouse: bit column %d: duplicate bit %d", id, prev)
+		}
+		idx := prev + gap
+		if idx >= limit {
+			return nil, fmt.Errorf("warehouse: bit column %d: bit %d out of range [0,%d)", id, idx, limit)
+		}
+		out[idx>>6] |= 1 << (idx & 63)
+		prev, first = idx, false
+	}
+	return out, nil
+}
+
+// computeRankPos derives the AS Rank permutation the way cone.Rank
+// defines it — cone size descending, transit degree descending, ASN
+// ascending — from the decoded columns. Positions are ASN-ordered, so
+// the final tiebreak is position order; the result is the exact
+// RankPos FromResult computed before encoding.
+func computeRankPos(s *Snapshot) {
+	n := s.NumASes()
+	wps := s.WordsPerCone()
+	sizes := make([]int32, n)
+	for p := 0; p < n; p++ {
+		c := 0
+		for _, w := range s.ConeWords[p*wps : (p+1)*wps] {
+			c += bits.OnesCount64(w)
+		}
+		sizes[p] = int32(c)
+	}
+	rank := make([]int32, n)
+	for i := range rank {
+		rank[i] = int32(i)
+	}
+	sort.Slice(rank, func(i, j int) bool {
+		a, b := rank[i], rank[j]
+		if sizes[a] != sizes[b] {
+			return sizes[a] > sizes[b]
+		}
+		if s.TransitDegree[a] != s.TransitDegree[b] {
+			return s.TransitDegree[a] > s.TransitDegree[b]
+		}
+		return a < b
+	})
+	s.RankPos = rank
+}
+
+func decodeSparse(payload []byte, n int, id byte) ([]sparseEntry, error) {
+	r := &decodeReader{buf: payload}
+	cnt, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: sparse column %d count: %w", id, err)
+	}
+	out := make([]sparseEntry, 0, cnt)
+	prev := int32(0)
+	for i := uint64(0); i < cnt; i++ {
+		dPos, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: sparse column %d entry %d: %w", id, i, err)
+		}
+		diff, err := r.varint()
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: sparse column %d entry %d: %w", id, i, err)
+		}
+		pos := prev + int32(dPos)
+		if int(pos) >= n {
+			return nil, fmt.Errorf("warehouse: sparse column %d entry %d: position %d out of range [0,%d)", id, i, pos, n)
+		}
+		out = append(out, sparseEntry{pos: pos, diff: diff})
+		prev = pos
+	}
+	return out, nil
+}
+
+func decodeScalars(payload []byte) (pathCount, numRels int64, err error) {
+	r := &decodeReader{buf: payload}
+	pc, err := r.uvarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("warehouse: scalar column path count: %w", err)
+	}
+	nr, err := r.uvarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("warehouse: scalar column rel count: %w", err)
+	}
+	return int64(pc), int64(nr), nil
+}
+
+// decodeFull rebuilds a snapshot from a full epoch's columns.
+func decodeFull(cols map[byte][]byte) (*Snapshot, error) {
+	p, err := col(cols, colASNs)
+	if err != nil {
+		return nil, err
+	}
+	asns, err := decodeAscendingU32(p, colASNs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(asns)
+	s := &Snapshot{ASNs: asns}
+
+	if p, err = col(cols, colTransitDeg); err != nil {
+		return nil, err
+	}
+	if s.TransitDegree, err = decodeI32Column(p, n, colTransitDeg); err != nil {
+		return nil, err
+	}
+	if p, err = col(cols, colDegree); err != nil {
+		return nil, err
+	}
+	if s.Degree, err = decodeI32Column(p, n, colDegree); err != nil {
+		return nil, err
+	}
+	if p, err = col(cols, colConePrefixes); err != nil {
+		return nil, err
+	}
+	if s.ConePrefixes, err = decodeI64Column(p, n, colConePrefixes); err != nil {
+		return nil, err
+	}
+	if err = decodeShared(cols, s); err != nil {
+		return nil, err
+	}
+	if p, err = col(cols, colLinks); err != nil {
+		return nil, err
+	}
+	if s.Links, err = decodeLinks(p, n, len(s.StepNames), colLinks); err != nil {
+		return nil, err
+	}
+	if p, err = col(cols, colConeWords); err != nil {
+		return nil, err
+	}
+	if s.ConeWords, err = decodeWordsRLE(p, colConeWords); err != nil {
+		return nil, err
+	}
+	if want := s.WordsPerCone() * n; len(s.ConeWords) != want {
+		return nil, fmt.Errorf("warehouse: cone slab has %d words, want %d for %d ASes", len(s.ConeWords), want, n)
+	}
+	computeRankPos(s)
+	return s, nil
+}
+
+// decodeShared parses the columns full and delta epochs encode
+// identically: clique, step names, scalars.
+func decodeShared(cols map[byte][]byte, s *Snapshot) error {
+	p, err := col(cols, colClique)
+	if err != nil {
+		return err
+	}
+	if s.Clique, err = decodeAscendingU32(p, colClique); err != nil {
+		return err
+	}
+	if p, err = col(cols, colStepNames); err != nil {
+		return err
+	}
+	if s.StepNames, err = decodeStepNames(p); err != nil {
+		return err
+	}
+	if p, err = col(cols, colScalars); err != nil {
+		return err
+	}
+	if s.PathCount, s.NumRels, err = decodeScalars(p); err != nil {
+		return err
+	}
+	return nil
+}
+
+// applyDelta reconstructs the next snapshot from its predecessor and a
+// delta epoch's columns. old is not modified.
+func applyDelta(old *Snapshot, cols map[byte][]byte) (*Snapshot, error) {
+	p, err := col(cols, dcolRemovedASNs)
+	if err != nil {
+		return nil, err
+	}
+	removed, err := decodeAscendingU32(p, dcolRemovedASNs)
+	if err != nil {
+		return nil, err
+	}
+	if p, err = col(cols, dcolAddedASNs); err != nil {
+		return nil, err
+	}
+	added, err := decodeAscendingU32(p, dcolAddedASNs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rebuild the new ASN column by merging out removals and merging in
+	// additions, then derive the position maps.
+	newASNs := mergeASNs(old.ASNs, removed, added)
+	m := mapIndexes(old.ASNs, newASNs)
+	n := len(newASNs)
+	s := &Snapshot{ASNs: newASNs}
+
+	// Dense columns: carry old values across surviving positions, then
+	// apply sparse diffs in new positions.
+	s.TransitDegree = make([]int32, n)
+	s.Degree = make([]int32, n)
+	s.ConePrefixes = make([]int64, n)
+	for np := 0; np < n; np++ {
+		if op := m.newToOld[np]; op >= 0 {
+			s.TransitDegree[np] = old.TransitDegree[op]
+			s.Degree[np] = old.Degree[op]
+			s.ConePrefixes[np] = old.ConePrefixes[op]
+		}
+	}
+	for _, spec := range []struct {
+		id    byte
+		apply func(sparseEntry)
+	}{
+		{dcolTransitDeg, func(e sparseEntry) { s.TransitDegree[e.pos] += int32(e.diff) }},
+		{dcolDegree, func(e sparseEntry) { s.Degree[e.pos] += int32(e.diff) }},
+		{dcolConePref, func(e sparseEntry) { s.ConePrefixes[e.pos] += e.diff }},
+	} {
+		if p, err = col(cols, spec.id); err != nil {
+			return nil, err
+		}
+		entries, err := decodeSparse(p, n, spec.id)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			spec.apply(e)
+		}
+	}
+
+	if err = decodeShared(cols, s); err != nil {
+		return nil, err
+	}
+
+	// Links: translate surviving old links to new positions, drop the
+	// removed set, apply changes, merge in additions, and restore (A,B)
+	// order. Old→new translation is monotonic (both indexes are
+	// ASN-ordered) so the translated list stays sorted.
+	if p, err = col(cols, dcolLinksRem); err != nil {
+		return nil, err
+	}
+	remLinks, err := decodePosPairs(p, len(old.ASNs))
+	if err != nil {
+		return nil, err
+	}
+	if p, err = col(cols, dcolLinksAdd); err != nil {
+		return nil, err
+	}
+	addLinks, err := decodeLinks(p, n, len(s.StepNames), dcolLinksAdd)
+	if err != nil {
+		return nil, err
+	}
+	if p, err = col(cols, dcolLinksChg); err != nil {
+		return nil, err
+	}
+	chgLinks, err := decodeLinks(p, n, len(s.StepNames), dcolLinksChg)
+	if err != nil {
+		return nil, err
+	}
+	s.Links, err = rebuildLinks(old, s, m, remLinks, addLinks, chgLinks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cone slab: XOR the stored delta into the remapped old slab.
+	if p, err = col(cols, dcolConeXor); err != nil {
+		return nil, err
+	}
+	xor, err := decodeBitGaps(p, dcolConeXor)
+	if err != nil {
+		return nil, err
+	}
+	slab := remapSlab(old, m, n)
+	if len(xor) != len(slab) {
+		return nil, fmt.Errorf("warehouse: cone delta has %d words, want %d for %d ASes", len(xor), len(slab), n)
+	}
+	for i, w := range xor {
+		slab[i] ^= w
+	}
+	s.ConeWords = slab
+	computeRankPos(s)
+	return s, nil
+}
+
+// mergeASNs applies a removal and an addition list to a sorted ASN
+// column, producing the successor epoch's sorted column.
+func mergeASNs(old, removed, added []uint32) []uint32 {
+	out := make([]uint32, 0, len(old)-len(removed)+len(added))
+	ri := 0
+	for _, a := range old {
+		if ri < len(removed) && removed[ri] == a {
+			ri++
+			continue
+		}
+		out = append(out, a)
+	}
+	// Merge additions (both lists sorted, disjoint).
+	merged := make([]uint32, 0, len(out)+len(added))
+	i, j := 0, 0
+	for i < len(out) || j < len(added) {
+		if j >= len(added) || (i < len(out) && out[i] < added[j]) {
+			merged = append(merged, out[i])
+			i++
+		} else {
+			merged = append(merged, added[j])
+			j++
+		}
+	}
+	return merged
+}
+
+// rebuildLinks reassembles the successor link list: old links survive
+// unless removed or touching a departed AS, translated to new positions
+// and relabeled by the change set; added links merge in sorted.
+func rebuildLinks(old, cur *Snapshot, m *indexMap, removed []posPair, added, changed []LinkRec) ([]LinkRec, error) {
+	// The removed set and change set are consulted during a single
+	// ordered sweep; both are sorted the same way as the link lists.
+	ri, ci := 0, 0
+	translated := make([]LinkRec, 0, len(old.Links)+len(added))
+	for _, l := range old.Links {
+		if ri < len(removed) && removed[ri].A == l.A && removed[ri].B == l.B {
+			ri++
+			continue
+		}
+		na, nb := m.oldToNew[l.A], m.oldToNew[l.B]
+		if na < 0 || nb < 0 {
+			return nil, fmt.Errorf("warehouse: link (%d,%d) touches a removed AS but is not in the removed set", l.A, l.B)
+		}
+		nl := LinkRec{A: na, B: nb, Rel: l.Rel}
+		if ci < len(changed) && changed[ci].A == na && changed[ci].B == nb {
+			// Relabeled link: the change record carries rel and step in
+			// the successor's terms already.
+			nl.Rel, nl.Step = changed[ci].Rel, changed[ci].Step
+			ci++
+		} else {
+			// Unchanged link: translate the provenance index across
+			// (possibly re-ordered) step tables by name.
+			name := old.StepNames[l.Step]
+			nl.Step = 0xFF
+			for si, sn := range cur.StepNames {
+				if sn == name {
+					nl.Step = uint8(si)
+					break
+				}
+			}
+			if nl.Step == 0xFF {
+				return nil, fmt.Errorf("warehouse: step name %q of link (%d,%d) missing from successor table", name, l.A, l.B)
+			}
+		}
+		translated = append(translated, nl)
+	}
+	if ri != len(removed) {
+		return nil, fmt.Errorf("warehouse: %d removed links not found in predecessor (first miss (%d,%d))", len(removed)-ri, removed[ri].A, removed[ri].B)
+	}
+	if ci != len(changed) {
+		return nil, fmt.Errorf("warehouse: %d changed links not found in predecessor (first miss (%d,%d))", len(changed)-ci, changed[ci].A, changed[ci].B)
+	}
+	// Merge the sorted added list into the sorted translated list.
+	out := make([]LinkRec, 0, len(translated)+len(added))
+	i, j := 0, 0
+	for i < len(translated) || j < len(added) {
+		switch {
+		case j >= len(added):
+			out = append(out, translated[i])
+			i++
+		case i >= len(translated):
+			out = append(out, added[j])
+			j++
+		case translated[i].A < added[j].A || (translated[i].A == added[j].A && translated[i].B < added[j].B):
+			out = append(out, translated[i])
+			i++
+		default:
+			out = append(out, added[j])
+			j++
+		}
+	}
+	return out, nil
+}

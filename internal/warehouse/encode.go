@@ -1,0 +1,415 @@
+package warehouse
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"hash/fnv"
+	"math/bits"
+)
+
+// On-disk segment layout (DESIGN.md §14). One segment file holds one
+// epoch:
+//
+//	header:  magic "ASWH\x00SEG" | u16le version | u8 kind |
+//	         u32le epoch | u32le base | u32le crc32(header so far)
+//	blocks:  u8 colID (non-zero) | uvarint len | payload | u32le crc32(payload)
+//	trailer: colID 0 | uvarint len=8 | u64le fnv64a(everything before
+//	         the trailer's colID byte) | u32le crc32(payload)
+//
+// Every block is individually CRC-framed; the trailer hash covers the
+// header and the block framing bytes the per-block CRCs do not, so a
+// flipped length byte, a truncated tail, or a torn write is always
+// detectable. A segment without a valid trailer never existed.
+
+const (
+	segVersion  = 1
+	kindFull    = 1
+	kindDelta   = 2
+	trailerCol  = 0
+	trailerSize = 8
+)
+
+var segMagic = [8]byte{'A', 'S', 'W', 'H', 0, 'S', 'E', 'G'}
+
+// Column IDs. Full epochs carry the col* set; delta epochs carry the
+// dcol* set plus the full clique/steps/scalars columns (small and
+// unordered — deltas would not pay for themselves). The rank
+// permutation has no column at all: the AS Rank order is a pure
+// function of cone size, transit degree, and ASN, so both decode paths
+// recompute it (computeRankPos) instead of storing ~2.5 bytes per AS
+// per epoch. ID 5 is retired and must not be reused.
+const (
+	colASNs         = 1  // uvarint count, then ascending uvarint deltas
+	colTransitDeg   = 2  // one svarint per position
+	colDegree       = 3  // one svarint per position
+	colConePrefixes = 4  // one svarint per position
+	colClique       = 6  // uvarint count, then ascending uvarint deltas
+	colStepNames    = 7  // uvarint count, then (uvarint len, bytes) each
+	colLinks        = 8  // uvarint count, then (uvarint dA, uvarint B, uvarint code) with code = step<<2 | rel
+	colConeWords    = 9  // zero-run-length words: (flag 0, uvarint zeroRun) | (flag 1, uvarint n, n×u64le)
+	colScalars      = 10 // uvarint pathCount, uvarint numRels
+
+	dcolRemovedASNs = 11 // uvarint count, ascending uvarint deltas (ASNs leaving the index)
+	dcolAddedASNs   = 12 // uvarint count, ascending uvarint deltas (ASNs entering)
+	dcolTransitDeg  = 13 // sparse: uvarint count, then (uvarint dPos, svarint diff)
+	dcolDegree      = 14 // sparse, same shape
+	dcolConePref    = 15 // sparse, same shape
+	dcolLinksRem    = 16 // uvarint count, (uvarint dA, uvarint B) in OLD positions
+	dcolLinksAdd    = 17 // uvarint count, (uvarint dA, uvarint B, uvarint code) in NEW positions
+	dcolLinksChg    = 18 // uvarint count, (uvarint dA, uvarint B, uvarint code) in NEW positions
+	dcolConeXor     = 19 // flipped bits of newSlab XOR remap(oldSlab): uvarint word count, then ascending uvarint bit-index gaps
+)
+
+// appendBlock frames one column payload onto the segment buffer.
+func appendBlock(seg []byte, colID byte, payload []byte) []byte {
+	seg = append(seg, colID)
+	seg = binary.AppendUvarint(seg, uint64(len(payload)))
+	seg = append(seg, payload...)
+	return binary.LittleEndian.AppendUint32(seg, crc32.ChecksumIEEE(payload))
+}
+
+// encodeSegment assembles a complete segment file image from framed
+// column payloads, returning the image and its content hash (the
+// trailer's fnv64a, which the manifest records as the epoch hash).
+func encodeSegment(kind byte, epoch, base uint32, cols []segColumn) ([]byte, uint64) {
+	seg := make([]byte, 0, 1024)
+	seg = append(seg, segMagic[:]...)
+	seg = binary.LittleEndian.AppendUint16(seg, segVersion)
+	seg = append(seg, kind)
+	seg = binary.LittleEndian.AppendUint32(seg, epoch)
+	seg = binary.LittleEndian.AppendUint32(seg, base)
+	seg = binary.LittleEndian.AppendUint32(seg, crc32.ChecksumIEEE(seg))
+	for _, c := range cols {
+		seg = appendBlock(seg, c.id, c.payload)
+	}
+	h := fnv.New64a()
+	h.Write(seg)
+	sum := h.Sum64()
+	var tp [trailerSize]byte
+	binary.LittleEndian.PutUint64(tp[:], sum)
+	seg = appendBlock(seg, trailerCol, tp[:])
+	return seg, sum
+}
+
+type segColumn struct {
+	id      byte
+	payload []byte
+}
+
+// --- column encoders --------------------------------------------------
+
+func encodeAscendingU32(out []byte, vs []uint32) []byte {
+	out = binary.AppendUvarint(out, uint64(len(vs)))
+	prev := uint32(0)
+	for i, v := range vs {
+		if i == 0 {
+			out = binary.AppendUvarint(out, uint64(v))
+		} else {
+			out = binary.AppendUvarint(out, uint64(v-prev))
+		}
+		prev = v
+	}
+	return out
+}
+
+func encodeI32Column(out []byte, vs []int32) []byte {
+	for _, v := range vs {
+		out = binary.AppendVarint(out, int64(v))
+	}
+	return out
+}
+
+func encodeI64Column(out []byte, vs []int64) []byte {
+	for _, v := range vs {
+		out = binary.AppendVarint(out, v)
+	}
+	return out
+}
+
+func encodeStepNames(out []byte, names []string) []byte {
+	out = binary.AppendUvarint(out, uint64(len(names)))
+	for _, n := range names {
+		out = binary.AppendUvarint(out, uint64(len(n)))
+		out = append(out, n...)
+	}
+	return out
+}
+
+func linkCode(l LinkRec) uint64 { return uint64(l.Step)<<2 | uint64(l.Rel) }
+
+func encodeLinks(out []byte, links []LinkRec) []byte {
+	out = binary.AppendUvarint(out, uint64(len(links)))
+	prevA := int32(0)
+	for _, l := range links {
+		out = binary.AppendUvarint(out, uint64(l.A-prevA))
+		out = binary.AppendUvarint(out, uint64(l.B))
+		out = binary.AppendUvarint(out, linkCode(l))
+		prevA = l.A
+	}
+	return out
+}
+
+// posPair is a bare (A, B) position pair (removed-link encoding).
+type posPair struct{ A, B int32 }
+
+func encodePosPairs(out []byte, pairs []posPair) []byte {
+	out = binary.AppendUvarint(out, uint64(len(pairs)))
+	prevA := int32(0)
+	for _, p := range pairs {
+		out = binary.AppendUvarint(out, uint64(p.A-prevA))
+		out = binary.AppendUvarint(out, uint64(p.B))
+		prevA = p.A
+	}
+	return out
+}
+
+// encodeWordsRLE writes a word slab as alternating zero runs and
+// literal runs — cone slabs (and especially cone XOR deltas) are
+// overwhelmingly zero words, so a year of epochs costs a small multiple
+// of one.
+func encodeWordsRLE(out []byte, words []uint64) []byte {
+	out = binary.AppendUvarint(out, uint64(len(words)))
+	for i := 0; i < len(words); {
+		j := i
+		if words[i] == 0 {
+			for j < len(words) && words[j] == 0 {
+				j++
+			}
+			out = append(out, 0)
+			out = binary.AppendUvarint(out, uint64(j-i))
+		} else {
+			for j < len(words) && words[j] != 0 {
+				j++
+			}
+			out = append(out, 1)
+			out = binary.AppendUvarint(out, uint64(j-i))
+			for _, w := range words[i:j] {
+				out = binary.LittleEndian.AppendUint64(out, w)
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// encodeBitGaps writes the set bits of a word slab as ascending
+// uvarint gaps over the global bit index (word*64 + bit). An epoch's
+// cone XOR flips a few hundred bits in a multi-megabit slab, so gaps
+// beat even zero-run-length words by ~3x: each flipped bit costs the
+// varint of its distance to the previous one, and untouched regions
+// cost nothing at all.
+func encodeBitGaps(out []byte, words []uint64) []byte {
+	out = binary.AppendUvarint(out, uint64(len(words)))
+	prev := uint64(0)
+	for wi, w := range words {
+		for w != 0 {
+			idx := uint64(wi)<<6 + uint64(bits.TrailingZeros64(w))
+			out = binary.AppendUvarint(out, idx-prev)
+			prev = idx
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// sparseEntry is one changed cell of a sparse column delta: the
+// position in the new index and the value diff against the old value
+// (or against zero for an AS that just entered the index).
+type sparseEntry struct {
+	pos  int32
+	diff int64
+}
+
+func encodeSparse(out []byte, entries []sparseEntry) []byte {
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	prev := int32(0)
+	for _, e := range entries {
+		out = binary.AppendUvarint(out, uint64(e.pos-prev))
+		out = binary.AppendVarint(out, e.diff)
+		prev = e.pos
+	}
+	return out
+}
+
+func encodeScalars(out []byte, s *Snapshot) []byte {
+	out = binary.AppendUvarint(out, uint64(s.PathCount))
+	return binary.AppendUvarint(out, uint64(s.NumRels))
+}
+
+// encodeFull renders a snapshot as a full epoch's column set.
+func encodeFull(s *Snapshot) []segColumn {
+	return []segColumn{
+		{colASNs, encodeAscendingU32(nil, s.ASNs)},
+		{colTransitDeg, encodeI32Column(nil, s.TransitDegree)},
+		{colDegree, encodeI32Column(nil, s.Degree)},
+		{colConePrefixes, encodeI64Column(nil, s.ConePrefixes)},
+		{colClique, encodeAscendingU32(nil, s.Clique)},
+		{colStepNames, encodeStepNames(nil, s.StepNames)},
+		{colLinks, encodeLinks(nil, s.Links)},
+		{colConeWords, encodeWordsRLE(nil, s.ConeWords)},
+		{colScalars, encodeScalars(nil, s)},
+	}
+}
+
+// indexMap aligns two interned indexes: oldToNew[p] is old position
+// p's position in the new index (-1 when the AS left), newToOld the
+// inverse (-1 when the AS is new).
+type indexMap struct {
+	oldToNew, newToOld []int32
+	removed, added     []uint32
+}
+
+func mapIndexes(oldASNs, newASNs []uint32) *indexMap {
+	m := &indexMap{
+		oldToNew: make([]int32, len(oldASNs)),
+		newToOld: make([]int32, len(newASNs)),
+	}
+	i, j := 0, 0
+	for i < len(oldASNs) || j < len(newASNs) {
+		switch {
+		case j >= len(newASNs) || (i < len(oldASNs) && oldASNs[i] < newASNs[j]):
+			m.oldToNew[i] = -1
+			m.removed = append(m.removed, oldASNs[i])
+			i++
+		case i >= len(oldASNs) || newASNs[j] < oldASNs[i]:
+			m.newToOld[j] = -1
+			m.added = append(m.added, newASNs[j])
+			j++
+		default:
+			m.oldToNew[i] = int32(j)
+			m.newToOld[j] = int32(i)
+			i++
+			j++
+		}
+	}
+	return m
+}
+
+// remapSlab projects an old cone slab into the new index's dimensions:
+// surviving ASes keep their cone bits at remapped positions, departed
+// ASes and departed members vanish, new ASes are all-zero. XORing the
+// result with the new slab yields the sparse cone delta.
+func remapSlab(old *Snapshot, m *indexMap, newN int) []uint64 {
+	wpsNew := (newN + 63) / 64
+	out := make([]uint64, wpsNew*newN)
+	wpsOld := old.WordsPerCone()
+	identity := len(m.removed) == 0 && len(m.added) == 0
+	if identity {
+		copy(out, old.ConeWords)
+		return out
+	}
+	for op := 0; op < len(old.ASNs); op++ {
+		np := m.oldToNew[op]
+		if np < 0 {
+			continue
+		}
+		row := out[int(np)*wpsNew : (int(np)+1)*wpsNew]
+		cone := old.ConeWords[op*wpsOld : (op+1)*wpsOld]
+		for wi, w := range cone {
+			for w != 0 {
+				bit := int32(wi<<6) + int32(bits.TrailingZeros64(w))
+				if nb := m.oldToNew[bit]; nb >= 0 {
+					row[nb>>6] |= 1 << (uint(nb) & 63)
+				}
+				w &= w - 1
+			}
+		}
+	}
+	return out
+}
+
+// sparseDiff computes the sparse delta of an int64-view column aligned
+// to the new index.
+func sparseDiff(oldVals func(int32) int64, newVals func(int32) int64, m *indexMap, newN int) []sparseEntry {
+	var out []sparseEntry
+	for p := int32(0); p < int32(newN); p++ {
+		var base int64
+		if op := m.newToOld[p]; op >= 0 {
+			base = oldVals(op)
+		}
+		if d := newVals(p) - base; d != 0 {
+			out = append(out, sparseEntry{pos: p, diff: d})
+		}
+	}
+	return out
+}
+
+// diffLinks three-way-merges two sorted link lists. Removed links are
+// reported in old positions, added and changed in new positions with
+// the new snapshot's code.
+func diffLinks(old, cur *Snapshot, m *indexMap) (removed []posPair, added, changed []LinkRec) {
+	i, j := 0, 0
+	for i < len(old.Links) || j < len(cur.Links) {
+		var cmp int
+		switch {
+		case i >= len(old.Links):
+			cmp = 1
+		case j >= len(cur.Links):
+			cmp = -1
+		default:
+			ol, nl := old.Links[i], cur.Links[j]
+			oa, ob := old.ASNs[ol.A], old.ASNs[ol.B]
+			na, nb := cur.ASNs[nl.A], cur.ASNs[nl.B]
+			switch {
+			case oa < na || (oa == na && ob < nb):
+				cmp = -1
+			case oa > na || (oa == na && ob > nb):
+				cmp = 1
+			}
+		}
+		switch cmp {
+		case -1:
+			removed = append(removed, posPair{A: old.Links[i].A, B: old.Links[i].B})
+			i++
+		case 1:
+			added = append(added, cur.Links[j])
+			j++
+		default:
+			ol, nl := old.Links[i], cur.Links[j]
+			if ol.Rel != nl.Rel || old.StepNames[ol.Step] != cur.StepNames[nl.Step] {
+				changed = append(changed, nl)
+			}
+			i++
+			j++
+		}
+	}
+	return removed, added, changed
+}
+
+// encodeDelta renders cur as a delta epoch against old.
+func encodeDelta(old, cur *Snapshot) []segColumn {
+	m := mapIndexes(old.ASNs, cur.ASNs)
+	newN := len(cur.ASNs)
+
+	xor := remapSlab(old, m, newN)
+	for i, w := range cur.ConeWords {
+		xor[i] ^= w
+	}
+
+	removed, added, changed := diffLinks(old, cur, m)
+
+	tdDiff := sparseDiff(
+		func(p int32) int64 { return int64(old.TransitDegree[p]) },
+		func(p int32) int64 { return int64(cur.TransitDegree[p]) }, m, newN)
+	degDiff := sparseDiff(
+		func(p int32) int64 { return int64(old.Degree[p]) },
+		func(p int32) int64 { return int64(cur.Degree[p]) }, m, newN)
+	cpDiff := sparseDiff(
+		func(p int32) int64 { return old.ConePrefixes[p] },
+		func(p int32) int64 { return cur.ConePrefixes[p] }, m, newN)
+
+	return []segColumn{
+		{dcolRemovedASNs, encodeAscendingU32(nil, m.removed)},
+		{dcolAddedASNs, encodeAscendingU32(nil, m.added)},
+		{dcolTransitDeg, encodeSparse(nil, tdDiff)},
+		{dcolDegree, encodeSparse(nil, degDiff)},
+		{dcolConePref, encodeSparse(nil, cpDiff)},
+		{colClique, encodeAscendingU32(nil, cur.Clique)},
+		{colStepNames, encodeStepNames(nil, cur.StepNames)},
+		{dcolLinksRem, encodePosPairs(nil, removed)},
+		{dcolLinksAdd, encodeLinks(nil, added)},
+		{dcolLinksChg, encodeLinks(nil, changed)},
+		{dcolConeXor, encodeBitGaps(nil, xor)},
+		{colScalars, encodeScalars(nil, cur)},
+	}
+}

@@ -1,0 +1,247 @@
+package warehouse
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+)
+
+// History is the immutable in-memory time-travel index the API layer
+// serves from: per-epoch rank/degree/cone columns plus the
+// relationship-change list against each epoch's predecessor. Each
+// Append publishes a new History value (sharing all prior per-epoch
+// data), so readers never observe a half-extended index.
+type History struct {
+	epochs []EpochInfo
+	series []epochSeries
+	etag   string
+}
+
+// epochSeries is one epoch's queryable column set.
+type epochSeries struct {
+	asns          []uint32 // shared with the decoded snapshot; never mutated
+	rankOf        []int32  // position → 1-based rank
+	coneASes      []int32  // position → cone size in ASes
+	conePrefixes  []int64  // position → prefix-weighted cone size
+	degree        []int32
+	transitDegree []int32
+	changes       []RelChange // vs predecessor, sorted by (A, B) ASN; empty for epoch 0
+}
+
+// RelChange is one link whose relationship differs from the previous
+// epoch, in ASN terms. Old/New use zero for "absent", so an appeared
+// link has Old == 0 and a vanished link has New == 0. Step is the
+// provenance of the new labeling ("" when the link vanished).
+type RelChange struct {
+	A    uint32  `json:"a"`
+	B    uint32  `json:"b"`
+	Old  RelCode `json:"old"`
+	New  RelCode `json:"new"`
+	Step string  `json:"step,omitempty"`
+}
+
+func newHistory() *History {
+	return &History{etag: chainETag(nil)}
+}
+
+// extend returns a new History with snap appended as epoch info.ID.
+// prev is the preceding epoch's snapshot (nil for the first).
+func (h *History) extend(info EpochInfo, prev, snap *Snapshot) *History {
+	n := len(snap.ASNs)
+	s := epochSeries{
+		asns:          snap.ASNs,
+		rankOf:        make([]int32, n),
+		coneASes:      make([]int32, n),
+		conePrefixes:  snap.ConePrefixes,
+		degree:        snap.Degree,
+		transitDegree: snap.TransitDegree,
+	}
+	for r, p := range snap.RankPos {
+		s.rankOf[p] = int32(r) + 1
+	}
+	wps := snap.WordsPerCone()
+	for p := 0; p < n; p++ {
+		c := 0
+		for _, w := range snap.ConeWords[p*wps : (p+1)*wps] {
+			c += bits.OnesCount64(w)
+		}
+		s.coneASes[p] = int32(c)
+	}
+	if prev != nil {
+		s.changes = relChanges(prev, snap)
+	}
+
+	epochs := append(append([]EpochInfo(nil), h.epochs...), info)
+	series := append(append([]epochSeries(nil), h.series...), s)
+	return &History{epochs: epochs, series: series, etag: chainETag(epochs)}
+}
+
+// relChanges renders the link diff between consecutive snapshots in
+// ASN terms, sorted by (A, B).
+func relChanges(prev, snap *Snapshot) []RelChange {
+	m := mapIndexes(prev.ASNs, snap.ASNs)
+	removed, added, changed := diffLinks(prev, snap, m)
+	out := make([]RelChange, 0, len(removed)+len(added)+len(changed))
+	for _, p := range removed {
+		l := prev.Links // removed pairs are old positions; find the old rel
+		// removed came from diffLinks in old-link order; binary search the
+		// sorted old list for the pair to recover its relationship.
+		i := sort.Search(len(l), func(i int) bool {
+			return l[i].A > p.A || (l[i].A == p.A && l[i].B >= p.B)
+		})
+		var old RelCode
+		if i < len(l) && l[i].A == p.A && l[i].B == p.B {
+			old = l[i].Rel
+		}
+		out = append(out, RelChange{A: prev.ASNs[p.A], B: prev.ASNs[p.B], Old: old})
+	}
+	for _, l := range added {
+		out = append(out, RelChange{
+			A: snap.ASNs[l.A], B: snap.ASNs[l.B], New: l.Rel, Step: snap.StepNames[l.Step],
+		})
+	}
+	for _, l := range changed {
+		a, b := snap.ASNs[l.A], snap.ASNs[l.B]
+		var old RelCode
+		if oa, ok1 := posOf(prev.ASNs, a); ok1 {
+			if ob, ok2 := posOf(prev.ASNs, b); ok2 {
+				old = relAt(prev, oa, ob)
+			}
+		}
+		out = append(out, RelChange{A: a, B: b, Old: old, New: l.Rel, Step: snap.StepNames[l.Step]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// posOf binary-searches a sorted ASN column.
+func posOf(asns []uint32, asn uint32) (int32, bool) {
+	i := sort.Search(len(asns), func(i int) bool { return asns[i] >= asn })
+	if i < len(asns) && asns[i] == asn {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// relAt binary-searches a snapshot's sorted link list for (a, b).
+func relAt(s *Snapshot, a, b int32) RelCode {
+	l := s.Links
+	i := sort.Search(len(l), func(i int) bool {
+		return l[i].A > a || (l[i].A == a && l[i].B >= b)
+	})
+	if i < len(l) && l[i].A == a && l[i].B == b {
+		return l[i].Rel
+	}
+	return 0
+}
+
+// chainETag derives the strong ETag the time-travel routes serve
+// under: a hash over every epoch's (id, content hash) pair, so any
+// append or recovery truncation changes it.
+func chainETag(epochs []EpochInfo) string {
+	h := fnv.New64a()
+	for _, e := range epochs {
+		fmt.Fprintf(h, "%d:%s;", e.ID, e.Hash)
+	}
+	return fmt.Sprintf("\"wh-%016x\"", h.Sum64())
+}
+
+// ETag returns the chain ETag over all epochs in this History.
+func (h *History) ETag() string { return h.etag }
+
+// Len returns the number of epochs indexed.
+func (h *History) Len() int { return len(h.epochs) }
+
+// Epochs returns the indexed manifest entries, oldest first (shared;
+// callers must not modify).
+func (h *History) Epochs() []EpochInfo { return h.epochs }
+
+// ASNEpoch is one epoch's view of one AS, as served by
+// /asns/{asn}/history.
+type ASNEpoch struct {
+	Epoch         uint32      `json:"epoch"`
+	Label         string      `json:"label"`
+	Present       bool        `json:"present"`
+	Rank          int32       `json:"rank,omitempty"`
+	ConeASes      int32       `json:"coneASes,omitempty"`
+	ConePrefixes  int64       `json:"conePrefixes,omitempty"`
+	Degree        int32       `json:"degree,omitempty"`
+	TransitDegree int32       `json:"transitDegree,omitempty"`
+	Changes       []RelChange `json:"changes,omitempty"`
+}
+
+// ASN returns asn's trajectory across every epoch, oldest first —
+// rank, cone size, degree, and the relationship changes touching it.
+// Epochs where the AS is absent report Present == false.
+func (h *History) ASN(asn uint32) []ASNEpoch {
+	out := make([]ASNEpoch, 0, len(h.series))
+	for i := range h.series {
+		s := &h.series[i]
+		e := ASNEpoch{Epoch: h.epochs[i].ID, Label: h.epochs[i].Label}
+		if p, ok := posOf(s.asns, asn); ok {
+			e.Present = true
+			e.Rank = s.rankOf[p]
+			e.ConeASes = s.coneASes[p]
+			e.ConePrefixes = s.conePrefixes[p]
+			e.Degree = s.degree[p]
+			e.TransitDegree = s.transitDegree[p]
+		}
+		for _, c := range s.changes {
+			if c.A == asn || c.B == asn {
+				e.Changes = append(e.Changes, c)
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Diff folds the stored per-epoch change lists from epoch `from` to
+// epoch `to` (from < to, both readable) into the net relationship
+// changes between the two — links whose final state equals their state
+// at `from` cancel out, however often they flapped in between. No
+// inference re-runs and no segment reads: the fold walks the in-memory
+// change lists only.
+func (h *History) Diff(from, to uint32) ([]RelChange, error) {
+	if from >= to || int(to) >= len(h.series) {
+		return nil, fmt.Errorf("warehouse: diff range [%d,%d] invalid for %d epochs", from, to, len(h.series))
+	}
+	type linkKey struct{ a, b uint32 }
+	type fold struct {
+		orig, final RelCode
+		step        string
+	}
+	acc := make(map[linkKey]*fold)
+	for e := from + 1; e <= to; e++ {
+		for _, c := range h.series[e].changes {
+			k := linkKey{c.A, c.B}
+			f, ok := acc[k]
+			if !ok {
+				f = &fold{orig: c.Old}
+				acc[k] = f
+			}
+			f.final = c.New
+			f.step = c.Step
+		}
+	}
+	out := make([]RelChange, 0, len(acc))
+	for k, f := range acc {
+		if f.orig == f.final {
+			continue
+		}
+		out = append(out, RelChange{A: k.a, B: k.b, Old: f.orig, New: f.final, Step: f.step})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, nil
+}

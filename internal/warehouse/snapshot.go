@@ -1,0 +1,205 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/asrank-go/asrank/internal/cone"
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// RelCode is the on-disk relationship encoding of one link record,
+// relative to the record's (A, B) position pair.
+type RelCode uint8
+
+// Relationship codes. Zero is reserved so a zero-valued record is
+// detectably invalid.
+const (
+	RelAProvB RelCode = 1 // A is B's provider (p2c in A→B orientation)
+	RelBProvA RelCode = 2 // B is A's provider
+	RelPeer   RelCode = 3 // A and B peer
+)
+
+// String names the code in A→B orientation ("none" for the zero
+// value, which history diffs use for "link absent").
+func (rc RelCode) String() string {
+	switch rc {
+	case RelAProvB:
+		return "p2c"
+	case RelBProvA:
+		return "c2p"
+	case RelPeer:
+		return "p2p"
+	}
+	return "none"
+}
+
+// MarshalJSON renders the code as its name — time-travel responses say
+// "p2c", not 1.
+func (rc RelCode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + rc.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the name form back, so API clients can decode
+// time-travel responses into the same types the server serializes.
+func (rc *RelCode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"p2c"`:
+		*rc = RelAProvB
+	case `"c2p"`:
+		*rc = RelBProvA
+	case `"p2p"`:
+		*rc = RelPeer
+	case `"none"`:
+		*rc = 0
+	default:
+		return fmt.Errorf("warehouse: unknown relationship code %s", b)
+	}
+	return nil
+}
+
+// LinkRec is one inferred adjacency in a snapshot, expressed over
+// interned positions (A < B) with its relationship and the index of
+// its provenance string in Snapshot.StepNames.
+type LinkRec struct {
+	A, B int32
+	Rel  RelCode
+	Step uint8
+}
+
+// Snapshot is the columnar form of one inference epoch: everything the
+// API read path serves, keyed by the interned AS index (positions
+// [0..len(ASNs)) in ascending-ASN order). It is the unit the warehouse
+// persists and the apiserver builds its immutable serving snapshot
+// from — a snapshot that round-trips through the store reproduces the
+// API's strong ETag bit for bit.
+type Snapshot struct {
+	// ASNs is the interned index: strictly ascending AS numbers.
+	ASNs []uint32
+	// TransitDegree and Degree are the ranking metrics, by position.
+	TransitDegree []int32
+	Degree        []int32
+	// ConePrefixes is the prefix-weighted cone size, by position.
+	ConePrefixes []int64
+	// RankPos lists positions in rank order, best first.
+	RankPos []int32
+	// Clique is the inferred clique, ascending ASN.
+	Clique []uint32
+	// PathCount is the size of the corpus the inference consumed;
+	// NumRels the total number of labeled links (== len(Links) unless a
+	// future engine emits unlabeled entries).
+	PathCount int64
+	NumRels   int64
+	// StepNames is the provenance string table LinkRec.Step indexes.
+	StepNames []string
+	// Links holds every labeled adjacency, sorted by (A, B).
+	Links []LinkRec
+	// ConeWords is the provider/peer-observed customer-cone slab: one
+	// bitset of WordsPerCone() words per position (see cone.ExportSlab).
+	ConeWords []uint64
+}
+
+// WordsPerCone returns the per-AS bitset width of ConeWords.
+func (s *Snapshot) WordsPerCone() int { return (len(s.ASNs) + 63) / 64 }
+
+// NumASes returns the interned AS count.
+func (s *Snapshot) NumASes() int { return len(s.ASNs) }
+
+// Cone returns position p's cone bitset words (shared, not copied).
+func (s *Snapshot) Cone(p int32) []uint64 {
+	wps := s.WordsPerCone()
+	return s.ConeWords[int(p)*wps : (int(p)+1)*wps]
+}
+
+// FromResult converts an inference result into its columnar snapshot:
+// the same cone product, ranking, and per-AS aggregates the API
+// snapshot builder consumed before the warehouse existed, so
+// apiserver.Build(res) and apiserver.BuildSnapshot(FromResult(res))
+// serve byte-identical responses. Deterministic at any worker count
+// (the cone engine guarantees it; everything else is sorted).
+func FromResult(res *core.Result) *Snapshot {
+	rels := cone.NewRelations(res.Rels)
+	bits := rels.ProviderPeerObservedBits(res.Dataset)
+	idx := bits.Index()
+	n := idx.Len()
+
+	snap := &Snapshot{
+		ASNs:      append([]uint32(nil), idx.ASNs()...),
+		PathCount: int64(res.Dataset.NumPaths()),
+		NumRels:   int64(len(res.Rels)),
+	}
+
+	snap.TransitDegree = make([]int32, n)
+	snap.Degree = make([]int32, n)
+	for i := 0; i < n; i++ {
+		asn := idx.ASN(int32(i))
+		snap.TransitDegree[i] = int32(res.TransitDegree[asn])
+		snap.Degree[i] = int32(res.Degree[asn])
+	}
+
+	// Cone-prefix totals, exactly as the API snapshot precomputes them.
+	prefixes := cone.PrefixCounts(res.Dataset)
+	weights := make([]int64, n)
+	for asn, c := range prefixes {
+		if p, ok := idx.Pos(asn); ok {
+			weights[p] = int64(c)
+		}
+	}
+	snap.ConePrefixes = bits.WeightedSizes(weights)
+
+	rank := cone.Rank(bits.Sizes(), res.TransitDegree)
+	snap.RankPos = make([]int32, len(rank))
+	for i, asn := range rank {
+		p, _ := idx.Pos(asn)
+		snap.RankPos[i] = p
+	}
+
+	snap.Clique = append([]uint32{}, res.Clique...)
+
+	// Links sorted by position pair; the provenance table is assigned
+	// in first-appearance order over the sorted links, so two identical
+	// results produce identical tables regardless of map iteration.
+	snap.Links = make([]LinkRec, 0, len(res.Rels))
+	for l, rel := range res.Rels {
+		pa, oka := idx.Pos(l.A)
+		pb, okb := idx.Pos(l.B)
+		if !oka || !okb {
+			continue // an AS filtered from the cone index has no serving row
+		}
+		var code RelCode
+		switch rel {
+		case topology.P2C:
+			code = RelAProvB
+		case topology.C2P:
+			code = RelBProvA
+		case topology.P2P:
+			code = RelPeer
+		default:
+			continue
+		}
+		// paths.Link is normalized A < B and interning preserves ASN
+		// order, so pa < pb already.
+		snap.Links = append(snap.Links, LinkRec{A: pa, B: pb, Rel: code, Step: uint8(res.Steps[l])})
+	}
+	sort.Slice(snap.Links, func(i, j int) bool {
+		if snap.Links[i].A != snap.Links[j].A {
+			return snap.Links[i].A < snap.Links[j].A
+		}
+		return snap.Links[i].B < snap.Links[j].B
+	})
+	stepIdx := map[string]uint8{}
+	for i := range snap.Links {
+		name := core.Step(snap.Links[i].Step).String()
+		id, ok := stepIdx[name]
+		if !ok {
+			id = uint8(len(snap.StepNames))
+			stepIdx[name] = id
+			snap.StepNames = append(snap.StepNames, name)
+		}
+		snap.Links[i].Step = id
+	}
+
+	snap.ConeWords, _ = bits.ExportSlab()
+	return snap
+}
