@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint bench bench-api bench-store metrics-lint fuzz-smoke trace-demo
+.PHONY: build test check lint bench bench-api bench-store bench-stream metrics-lint fuzz-smoke trace-demo
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,26 @@ bench-store:
 		-scale $(BENCH_STORE_SCALE) -vps 12 -seed 42 -out BENCH_store.json
 	@echo "report in BENCH_store.json"
 
+# Streaming-epoch benchmark (DESIGN.md §15): simulate a collection,
+# churn it at BENCH_STREAM_CHURN per epoch, and run every epoch down
+# both the incremental engine and the from-scratch batch pipeline —
+# differentially checked, so the reported speedup is between paths that
+# produced bit-identical snapshots. Leaves epochs/s, update-to-serve
+# p50/p99, and the incremental-vs-batch speedup in BENCH_stream.json at
+# the repo root; a non-zero exit means an epoch diverged. The committed
+# BENCH_stream.json is the reference run at these defaults.
+BENCH_STREAM_EPOCHS ?= 12
+BENCH_STREAM_SCALE ?= 2000
+BENCH_STREAM_CHURN ?= 0.01
+
+bench-stream:
+	mkdir -p $(BENCHDIR)/bin
+	$(GO) build -o $(BENCHDIR)/bin/ ./cmd/streambench
+	$(BENCHDIR)/bin/streambench -epochs $(BENCH_STREAM_EPOCHS) \
+		-scale $(BENCH_STREAM_SCALE) -churn $(BENCH_STREAM_CHURN) \
+		-vps 12 -seed 42 -out BENCH_stream.json
+	@echo "report in BENCH_stream.json"
+
 # Standalone exposition-format gate: the strict Prometheus text-format
 # checks on obs itself plus the end-to-end /metrics surface.
 metrics-lint:
@@ -100,3 +120,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseOpenBody$$' -fuzztime $(FUZZTIME) ./internal/bgp
 	$(GO) test -run '^$$' -fuzz '^FuzzReadMessage$$' -fuzztime $(FUZZTIME) ./internal/bgp
 	$(GO) test -run '^$$' -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME) ./internal/mrt
+	$(GO) test -run '^$$' -fuzz '^FuzzCorpusMutator$$' -fuzztime $(FUZZTIME) ./internal/streamtest

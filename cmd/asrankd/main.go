@@ -35,6 +35,19 @@
 // -debug-listen is set, so a slow request from minutes ago is still
 // explainable from /debug/flight.
 //
+// With -stream-listen, asrankd runs a live BGP collector and the
+// incremental inference engine instead of (or alongside) batch
+// ingestion: BGP speakers session in, announcements and withdrawals
+// fold into the streaming corpus as they arrive, and every
+// -epoch-interval the engine commits a converged epoch — proven
+// bit-identical to a batch re-run by internal/streamtest — that is
+// appended to the warehouse (when configured) and hot-swapped into the
+// serving snapshot atomically:
+//
+//	asrankd -stream-listen 127.0.0.1:1790 -epoch-interval 5s -warehouse ./wh
+//	bgpsim -topo topo.txt -vps 8 -seed 42 -replay 127.0.0.1:1790
+//	curl http://127.0.0.1:8080/api/v1/health     # etag advances per epoch
+//
 // SIGINT/SIGTERM drain in-flight requests via http.Server.Shutdown
 // before exiting.
 package main
@@ -42,6 +55,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -52,9 +66,11 @@ import (
 	"time"
 
 	"github.com/asrank-go/asrank/internal/apiserver"
+	"github.com/asrank-go/asrank/internal/collector"
 	"github.com/asrank-go/asrank/internal/core"
 	"github.com/asrank-go/asrank/internal/obs"
 	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/stream"
 	"github.com/asrank-go/asrank/internal/trace"
 	"github.com/asrank-go/asrank/internal/warehouse"
 )
@@ -68,6 +84,9 @@ func main() {
 		debugListen  = flag.String("debug-listen", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
 		workers      = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
 		drainWait    = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+
+		streamListen  = flag.String("stream-listen", "", "run a live BGP collector on this address and infer incrementally (off when empty)")
+		epochInterval = flag.Duration("epoch-interval", 10*time.Second, "how often the streaming engine commits and publishes an epoch")
 
 		shedConc    = flag.Int("shed-concurrency", 64, "per-route concurrency limit for heavy routes; point lookups get 4x (0 disables shedding)")
 		shedQueue   = flag.Int("shed-queue", 0, "requests allowed to wait for an admission slot (0 = 2x concurrency)")
@@ -108,8 +127,8 @@ func main() {
 			log.Fatal("asrankd: multiple -paths corpora require -warehouse")
 		}
 	}
-	if len(corpora) == 0 && *mrtFile == "" && (store == nil || store.Len() == 0) {
-		log.Fatal("asrankd: one of -paths, -mrt, or a non-empty -warehouse is required")
+	if len(corpora) == 0 && *mrtFile == "" && *streamListen == "" && (store == nil || store.Len() == 0) {
+		log.Fatal("asrankd: one of -paths, -mrt, -stream-listen, or a non-empty -warehouse is required")
 	}
 
 	cfg := apiserver.Config{
@@ -185,6 +204,80 @@ func main() {
 		ingest(*mrtFile, ds)
 	}
 
+	// Streaming mode: a live collector feeds the incremental engine, and
+	// epochs commit on a timer, publishing exactly like batch ingests —
+	// an ETag-deduplicated warehouse append, then an atomic hot swap of
+	// the serving snapshot. In-flight requests keep the snapshot they
+	// started on; the next request sees the new epoch and ETag.
+	var streamSrv *collector.Server
+	stopStream := make(chan struct{})
+	defer close(stopStream)
+	if *streamListen != "" {
+		eng := stream.New(stream.Options{Workers: *workers})
+		var serr error
+		streamSrv, serr = collector.Listen(*streamListen, collector.Options{
+			Routes:   eng,
+			Registry: obs.Default(),
+			Tracer:   tracer,
+			Logf:     log.Printf,
+		})
+		if serr != nil {
+			log.Fatalf("asrankd: %v", serr)
+		}
+		log.Printf("asrankd: streaming collector on %s, committing every %s", streamSrv.Addr(), *epochInterval)
+
+		var lastETag string
+		if store != nil {
+			if _, last, ok := store.Latest(); ok {
+				lastETag = last.ETag
+			}
+		}
+		epoch := 0
+		commit := func() {
+			if epoch == 0 && eng.Stats().RIBRoutes == 0 {
+				// Nothing collected yet this process: keep the warming 503
+				// (or the resumed warehouse head) instead of publishing an
+				// empty epoch.
+				return
+			}
+			start := time.Now()
+			ctx, span := tracer.StartSpan(context.Background(), "asrankd.stream_epoch")
+			snap := eng.Commit(ctx)
+			data := apiserver.BuildSnapshot(snap)
+			span.End()
+			if data.ETag() == lastETag {
+				return // quiet interval: keep serving the current epoch
+			}
+			epoch++
+			label := fmt.Sprintf("stream-%d", epoch)
+			if store != nil {
+				info, err := store.Append(snap, label, data.ETag())
+				if err != nil {
+					log.Fatalf("asrankd: %v", err)
+				}
+				log.Printf("asrankd: %s: appended as epoch %d (%s, %d bytes)", label, info.ID, info.Kind, info.Bytes)
+			}
+			live.Swap(data)
+			lastETag = data.ETag()
+			st := eng.Stats()
+			log.Printf("asrankd: %s: %d routes, %d distinct paths, etag %s, committed in %s",
+				label, st.RIBRoutes, st.Entries, data.ETag(), time.Since(start).Round(time.Millisecond))
+		}
+		//lint:ignore noderivedgo epoch ticker lives until signal-driven drain, not a bounded fan-out
+		go func() {
+			tick := time.NewTicker(*epochInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopStream:
+					return
+				case <-tick.C:
+					commit()
+				}
+			}
+		}()
+	}
+
 	api := &http.Server{
 		Addr:              *listen,
 		Handler:           apiserver.LogRequests(live),
@@ -244,6 +337,9 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
 		log.Printf("asrankd: signal received, draining for up to %s", *drainWait)
+		if streamSrv != nil {
+			streamSrv.Close()
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := api.Shutdown(sctx); err != nil {

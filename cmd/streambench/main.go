@@ -1,0 +1,194 @@
+// Command streambench measures the streaming engine against the batch
+// pipeline it is proven equal to, and reports the profile as JSON —
+// the live-epoch counterpart of storebench's durability report.
+//
+// It simulates a collection, derives a deterministic churn schedule at
+// a configurable per-epoch churn fraction, and runs every epoch down
+// both paths:
+//
+//   - incremental: apply the epoch's route events to the streaming
+//     engine, Commit, and build the serving snapshot — the
+//     update-to-serve latency a live asrankd pays per epoch;
+//   - batch: materialize the mirrored route table and run the full
+//     offline pipeline (sanitize, 11-step inference, cone crediting,
+//     snapshot composition, serving build) — what recomputing from
+//     scratch costs at the same instant.
+//
+// Every epoch is differentially checked (streamtest.EquivCheck); any
+// divergence makes the run exit non-zero, so the benchmark is also a
+// proof obligation: the speedup it reports is between two paths that
+// produced bit-identical answers.
+//
+// Usage:
+//
+//	streambench -scale 2000 -vps 12 -epochs 12 -churn 0.01 -out BENCH_stream.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/asrank-go/asrank/internal/apiserver"
+	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/stream"
+	"github.com/asrank-go/asrank/internal/streamtest"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// streamReport is the JSON written to -out.
+type streamReport struct {
+	Scale     int     `json:"scale"`
+	VPs       int     `json:"vps"`
+	Seed      int64   `json:"seed"`
+	Epochs    int     `json:"epochs"` // churn epochs measured (epoch 0 bootstrap excluded)
+	Routes    int     `json:"routes"` // base table size
+	ChurnFrac float64 `json:"churnFrac"`
+	Churn     int     `json:"churnPerEpoch"`
+	Workers   int     `json:"workers"`
+
+	EpochsPerSec float64 `json:"epochsPerSec"` // steady-state incremental commits
+
+	// Update-to-serve: apply events + Commit + build the serving
+	// snapshot, per epoch, milliseconds.
+	IncrementalLatencyMillis latencyMillis `json:"incrementalLatencyMillis"`
+	// The same epochs recomputed from scratch by the batch pipeline.
+	BatchLatencyMillis latencyMillis `json:"batchLatencyMillis"`
+	// Mean batch time / mean incremental time over the measured epochs.
+	Speedup float64 `json:"speedup"`
+
+	BootstrapMillis float64 `json:"bootstrapMillis"` // epoch 0: announce + commit the full table
+
+	Stats         stream.Stats `json:"stats"`
+	EquivalenceOK bool         `json:"equivalenceOK"`
+	ETag          string       `json:"etag"` // final epoch serving ETag
+}
+
+type latencyMillis struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+}
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 2000, "topology size (ASes)")
+		vps     = flag.Int("vps", 12, "vantage points")
+		seed    = flag.Int64("seed", 42, "deterministic seed")
+		epochs  = flag.Int("epochs", 12, "churn epochs to measure (after the bootstrap epoch)")
+		churn   = flag.Float64("churn", 0.01, "per-epoch churn as a fraction of the base route table")
+		workers = flag.Int("workers", 0, "inference workers (<= 0 selects GOMAXPROCS)")
+		out     = flag.String("out", "BENCH_stream.json", "report output path")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "streambench: simulating base collection (scale %d, %d VPs)\n", *scale, *vps)
+	p := topology.DefaultParams(*seed)
+	p.ASes = *scale
+	topo := topology.Generate(p)
+	sopts := bgpsim.DefaultOptions(*seed)
+	sopts.NumVPs = *vps
+	sim, err := bgpsim.Run(topo, sopts)
+	if err != nil {
+		log.Fatalf("streambench: %v", err)
+	}
+
+	churnEvents := int(*churn * float64(len(sim.Dataset.Paths)))
+	if churnEvents < 1 {
+		churnEvents = 1
+	}
+	sched := streamtest.NewSchedule(*seed, sim.Dataset, *epochs+1, churnEvents)
+	opts := stream.Options{Workers: *workers}
+	eng := stream.New(opts)
+	mirror := make(streamtest.Mirror)
+
+	rep := &streamReport{
+		Scale: *scale, VPs: *vps, Seed: *seed, Epochs: *epochs,
+		ChurnFrac: *churn, Churn: churnEvents, Workers: *workers,
+		EquivalenceOK: true,
+	}
+
+	incSamples := make([]time.Duration, 0, *epochs)
+	batchSamples := make([]time.Duration, 0, *epochs)
+	for ep, evs := range sched.Epochs {
+		// Incremental leg: events in, serving snapshot out.
+		t0 := time.Now()
+		for _, ev := range evs {
+			if ev.Withdraw {
+				eng.Withdraw(ev.Key.Collector, ev.Key.VP, ev.Key.Prefix)
+			} else {
+				eng.Announce(ev.Key.Collector, ev.Key.VP, ev.Key.Prefix, ev.ASNs)
+			}
+		}
+		inc := eng.Commit(context.Background())
+		incData := apiserver.BuildSnapshot(inc)
+		incTime := time.Since(t0)
+
+		// Batch leg: same route table, recomputed from scratch.
+		for _, ev := range evs {
+			mirror.Apply(ev)
+		}
+		t0 = time.Now()
+		batch := streamtest.BatchReference(mirror, opts)
+		apiserver.BuildSnapshot(batch)
+		batchTime := time.Since(t0)
+
+		if err := streamtest.EquivCheck(inc, batch); err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: epoch %d: %v\n", ep, err)
+			rep.EquivalenceOK = false
+		}
+		if ep == 0 {
+			rep.Routes = len(evs)
+			rep.BootstrapMillis = millis(incTime)
+			fmt.Fprintf(os.Stderr, "streambench: bootstrapped %d routes in %.0fms; measuring %d epochs of %d-event churn\n",
+				len(evs), rep.BootstrapMillis, *epochs, churnEvents)
+			continue
+		}
+		incSamples = append(incSamples, incTime)
+		batchSamples = append(batchSamples, batchTime)
+		rep.ETag = incData.ETag()
+	}
+
+	var incSum, batchSum time.Duration
+	for i := range incSamples {
+		incSum += incSamples[i]
+		batchSum += batchSamples[i]
+	}
+	if incSum > 0 {
+		rep.EpochsPerSec = float64(len(incSamples)) / incSum.Seconds()
+		rep.Speedup = batchSum.Seconds() / incSum.Seconds()
+	}
+	rep.IncrementalLatencyMillis = quantiles(incSamples)
+	rep.BatchLatencyMillis = quantiles(batchSamples)
+	rep.Stats = eng.Stats()
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("streambench: encode report: %v", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatalf("streambench: write %s: %v", *out, err)
+	}
+	fmt.Printf("streambench: %d epochs at %.2f%% churn: %.1f epochs/s, update-to-serve p99 %.1fms, %.1fx vs batch -> %s\n",
+		rep.Epochs, rep.ChurnFrac*100, rep.EpochsPerSec, rep.IncrementalLatencyMillis.P99, rep.Speedup, *out)
+	if !rep.EquivalenceOK {
+		os.Exit(1)
+	}
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func quantiles(samples []time.Duration) latencyMillis {
+	if len(samples) == 0 {
+		return latencyMillis{}
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pct := func(q float64) float64 { return millis(s[int(q*float64(len(s)-1))]) }
+	return latencyMillis{P50: pct(0.50), P99: pct(0.99)}
+}

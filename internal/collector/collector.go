@@ -74,6 +74,22 @@ func ParseMalformedPolicy(s string) (MalformedPolicy, error) {
 	return 0, fmt.Errorf("collector: unknown malformed-update policy %q (want teardown or skip)", s)
 }
 
+// RouteSink receives the collector's live route stream: one Withdraw
+// per withdrawn prefix and one Announce per NLRI prefix, in the order
+// the session consumed them (withdrawals of an UPDATE before its
+// announcements, per BGP semantics). vp is the announcing peer's ASN;
+// asns carries the flattened AS path with the peer prepended when
+// absent — exactly the row the batch corpus records. Callbacks run on
+// session goroutines under the server's exactly-once consumed
+// accounting: a route a resuming speaker re-sends after a torn session
+// is never delivered twice, and a skipped malformed UPDATE (counted as
+// consumed) delivers nothing. Implementations must be safe for
+// concurrent use and must not call back into the Server.
+type RouteSink interface {
+	Announce(collector string, vp uint32, prefix netip.Prefix, asns []uint32)
+	Withdraw(collector string, vp uint32, prefix netip.Prefix)
+}
+
 // Options configures a collector.
 type Options struct {
 	// LocalAS is the collector's AS number (default 64497).
@@ -90,6 +106,9 @@ type Options struct {
 	// Malformed selects the malformed-UPDATE policy (default
 	// MalformedTeardown).
 	Malformed MalformedPolicy
+	// Routes, when non-nil, receives the live route stream — the seam
+	// the streaming inference engine ingests from.
+	Routes RouteSink
 	// Registry receives the degradation counters (default obs.Default()).
 	Registry *obs.Registry
 	// Tracer, when non-nil, records a "collector.session" span per BGP
@@ -387,6 +406,14 @@ func (s *Server) record(conn net.Conn, peer *bgp.Open, upd *bgp.Update, raw []by
 	defer s.mu.Unlock()
 	s.updates++
 	s.consumed[peer.ASN]++
+	// Route events are emitted under the same lock that advances the
+	// consumed counter, so a resuming speaker's replay boundary and the
+	// sink's delivery boundary are the same boundary: exactly-once.
+	if sink := s.opts.Routes; sink != nil {
+		for _, pfx := range upd.Withdrawn {
+			sink.Withdraw(s.opts.Collector, peer.ASN, pfx)
+		}
+	}
 	if len(upd.NLRI) > 0 && len(asPath) > 0 && !upd.Attrs.Path().HasSet() {
 		asns := asPath
 		if asns[0] != peer.ASN {
@@ -394,6 +421,9 @@ func (s *Server) record(conn net.Conn, peer *bgp.Open, upd *bgp.Update, raw []by
 		}
 		for _, pfx := range upd.NLRI {
 			s.ds.Add(paths.Path{Collector: s.opts.Collector, Prefix: pfx, ASNs: asns})
+			if sink := s.opts.Routes; sink != nil {
+				sink.Announce(s.opts.Collector, peer.ASN, pfx, asns)
+			}
 		}
 	}
 	if s.mw != nil {

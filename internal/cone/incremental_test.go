@@ -1,0 +1,113 @@
+package cone
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/paths"
+	"github.com/asrank-go/asrank/internal/topology"
+)
+
+// creditCorpus builds a realistic inferred corpus: topology → bgpsim →
+// sanitize → infer, returning the post-discard dataset and its result.
+func creditCorpus(t *testing.T, seed int64, ases int) (*paths.Dataset, *core.Result) {
+	t.Helper()
+	p := topology.DefaultParams(seed)
+	p.ASes = ases
+	topo := topology.Generate(p)
+	sim, err := bgpsim.Run(topo, bgpsim.DefaultOptions(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := paths.Sanitize(sim.Dataset, paths.SanitizeOptions{})
+	res := core.Infer(clean, core.Options{})
+	return res.Dataset, res
+}
+
+// TestPairCountsMatchesBatch proves the refcounted crediting walk is
+// bit-identical to the batch provider/peer-observed engine: crediting
+// every post-discard path +1 and building the slab must equal
+// ProviderPeerObservedBits.ExportSlab over the same corpus.
+func TestPairCountsMatchesBatch(t *testing.T) {
+	ds, res := creditCorpus(t, 77, 400)
+	r := NewRelations(res.Rels)
+	wantSlab, _ := r.ProviderPeerObservedBits(ds).ExportSlab()
+
+	pc := NewPairCounts()
+	for _, p := range ds.Paths {
+		pc.Credit(res.Rel, p.ASNs, 1)
+	}
+	got := pc.Slab(r.Index())
+	if !reflect.DeepEqual(got, wantSlab) {
+		t.Fatal("incremental slab differs from batch ProviderPeerObservedBits")
+	}
+	if pc.Dirty() {
+		t.Error("Slab must reset the touched set")
+	}
+}
+
+// TestPairCountsPatch removes a deterministic subset of paths, patches
+// the previous slab, and checks the result equals a from-scratch batch
+// build over the surviving corpus — then re-adds the paths and checks
+// the patch rolls cleanly back to the original slab.
+func TestPairCountsPatch(t *testing.T) {
+	ds, res := creditCorpus(t, 78, 400)
+	r := NewRelations(res.Rels)
+	idx := r.Index()
+
+	pc := NewPairCounts()
+	for _, p := range ds.Paths {
+		pc.Credit(res.Rel, p.ASNs, 1)
+	}
+	full := pc.Slab(idx)
+
+	// Withdraw every third path.
+	survivors := &paths.Dataset{}
+	for i, p := range ds.Paths {
+		if i%3 == 0 {
+			pc.Credit(res.Rel, p.ASNs, -1)
+		} else {
+			survivors.Add(p)
+		}
+	}
+	patched := pc.Patch(idx, full)
+	wantSlab, _ := r.ProviderPeerObservedBits(survivors).ExportSlab()
+	if !reflect.DeepEqual(patched, wantSlab) {
+		t.Fatal("patched slab differs from batch build over the surviving corpus")
+	}
+
+	// The original slab must be untouched (Patch copies).
+	again := pc.Slab(idx)
+	if !reflect.DeepEqual(again, patched) {
+		t.Fatal("full rebuild after withdrawals differs from the patch")
+	}
+
+	// Re-announce the withdrawn paths: patch returns to the full slab.
+	for i, p := range ds.Paths {
+		if i%3 == 0 {
+			pc.Credit(res.Rel, p.ASNs, 1)
+		}
+	}
+	back := pc.Patch(idx, patched)
+	if !reflect.DeepEqual(back, full) {
+		t.Fatal("re-announcing withdrawn paths did not restore the original slab")
+	}
+}
+
+// TestPairCountsUnderflowPanics pins the refcount-discipline contract:
+// removing a path that was never credited is a caller bug, not silent
+// corruption.
+func TestPairCountsUnderflowPanics(t *testing.T) {
+	pc := NewPairCounts()
+	rel := func(x, y uint32) topology.Relationship {
+		return topology.P2C // every hop descends
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on refcount underflow")
+		}
+	}()
+	pc.Credit(rel, []uint32{1, 2, 3, 4}, -1)
+}

@@ -6,10 +6,24 @@ import (
 	"github.com/asrank-go/asrank/internal/paths"
 )
 
+// CliqueFromIndex implements step 3 over the index's ranked layer,
+// honoring a preset Options.Clique (ablations). Exported so the
+// streaming engine can recompute the clique per epoch from the same
+// aggregates the batch pipeline uses.
+func CliqueFromIndex(ix *CorpusIndex, rank []uint32, opts Options) []uint32 {
+	opts = opts.withDefaults()
+	if opts.Clique != nil {
+		out := append([]uint32(nil), opts.Clique...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	return inferClique(ix, rank, opts)
+}
+
 // inferClique implements step 3: a Bron–Kerbosch maximum-clique search
 // over the links among the top-ranked ASes, seeded on the #1 AS, then a
 // greedy extension further down the ranking requiring full adjacency.
-func inferClique(ds *paths.Dataset, rank []uint32, opts Options) []uint32 {
+func inferClique(ix *CorpusIndex, rank []uint32, opts Options) []uint32 {
 	if len(rank) == 0 {
 		return nil
 	}
@@ -28,7 +42,7 @@ func inferClique(ds *paths.Dataset, rank []uint32, opts Options) []uint32 {
 	for _, s := range seeds {
 		adj[s] = make(map[uint32]bool)
 	}
-	links := ds.Links()
+	links := ix.preLinks
 	for l := range links {
 		if seedSet[l.A] && seedSet[l.B] {
 			adj[l.A][l.B] = true
@@ -104,7 +118,7 @@ func inferClique(ds *paths.Dataset, rank []uint32, opts Options) []uint32 {
 	if limit > len(rank) {
 		limit = len(rank)
 	}
-	pred2 := predecessorPairs(ds)
+	pred2 := ix.predecessorPairs()
 	member := make(map[uint32]bool, len(best))
 	for _, m := range best {
 		member[m] = true
@@ -128,24 +142,6 @@ func inferClique(ds *paths.Dataset, rank []uint32, opts Options) []uint32 {
 	}
 	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
 	return best
-}
-
-// predecessorPairs maps each AS to the distinct ordered hop pairs that
-// directly precede it in paths.
-func predecessorPairs(ds *paths.Dataset) map[uint32][][2]uint32 {
-	seen := make(map[[3]uint32]bool)
-	out := make(map[uint32][][2]uint32)
-	for _, p := range ds.Paths {
-		for i := 0; i+2 < len(p.ASNs); i++ {
-			key := [3]uint32{p.ASNs[i], p.ASNs[i+1], p.ASNs[i+2]}
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			out[key[2]] = append(out[key[2]], [2]uint32{key[0], key[1]})
-		}
-	}
-	return out
 }
 
 // crossedByMembers reports whether any predecessor pair lies entirely in
@@ -211,6 +207,13 @@ func discardPoisoned(ds *paths.Dataset, clique map[uint32]bool) (*paths.Dataset,
 		out.Add(p)
 	}
 	return out, dropped
+}
+
+// Poisoned reports whether a path is a clique–nonclique–clique sandwich
+// under the given clique set — step 4's per-path predicate, exported so
+// the streaming engine can maintain poisoned flags incrementally.
+func Poisoned(asns []uint32, clique map[uint32]bool) bool {
+	return poisoned(asns, clique)
 }
 
 func poisoned(asns []uint32, clique map[uint32]bool) bool {

@@ -259,10 +259,85 @@ func InferCtx(ctx context.Context, ds *paths.Dataset, opts Options) *Result {
 }
 
 func inferSanitized(ctx context.Context, ds *paths.Dataset, opts Options, sanStats paths.SanitizeStats) *Result {
+	// Steps 2–4 are the only stages that touch the corpus itself; they
+	// build the two index layers the shared engine (InferIndexed)
+	// consumes. Their metric stages label no links.
+	stagePre := func(spanName, step string, fn func()) {
+		_, span := trace.StartSpan(ctx, spanName)
+		t0 := time.Now()
+		fn()
+		inferStepDuration.With(step).ObserveSince(t0)
+		span.End()
+	}
+
+	ix := NewCorpusIndex()
+	var rank, clique []uint32
+
+	// Step 2: ranking.
+	stagePre("core.infer.rank", "rank", func() {
+		for _, p := range ds.Paths {
+			ix.AddPath(p.ASNs, 1)
+		}
+		rank = ix.Rank()
+	})
+
+	// Step 3: clique.
+	stagePre("core.infer.clique", "clique", func() {
+		clique = CliqueFromIndex(ix, rank, opts)
+	})
+	cliqueSet := make(map[uint32]bool, len(clique))
+	for _, c := range clique {
+		cliqueSet[c] = true
+	}
+
+	// Step 4: discard poisoned paths and build the kept layer.
+	var kept *paths.Dataset
+	dropped := 0
+	stagePre("core.infer.poison", "poison", func() {
+		kept, dropped = discardPoisoned(ds, cliqueSet)
+		for _, p := range kept.Paths {
+			ix.AddKept(p.ASNs, 1)
+		}
+	})
+	inferPoisoned.Add(uint64(dropped))
+	if root := trace.FromContext(ctx); root != nil {
+		root.SetAttrInt("poisoned_paths", int64(dropped))
+	}
+
+	res := InferIndexed(ctx, ix, rank, clique, opts)
+	res.PoisonedPaths = dropped
+	res.Dataset = kept
+	res.SanitizeStats = sanStats
+	return res
+}
+
+// InferIndexed runs inference over an already-built corpus index with a
+// precomputed ranking and clique: the intra-clique p2p labeling,
+// provider-less detection, and steps 5–9, reading only the index's kept
+// layer. It is the shared engine of the batch pipeline and the
+// streaming engine — both execute this exact code over identical
+// aggregates, which is the heart of the incremental==batch equivalence
+// argument (DESIGN.md §15).
+//
+// rank and clique are copied into the Result; TransitDegree and Degree
+// snapshot the index's current ranked-layer metrics.
+func InferIndexed(ctx context.Context, ix *CorpusIndex, rank, clique []uint32, opts Options) *Result {
+	opts = opts.withDefaults()
 	res := &Result{
 		Rels:          make(map[paths.Link]topology.Relationship),
 		Steps:         make(map[paths.Link]Step),
-		SanitizeStats: sanStats,
+		Rank:          append([]uint32(nil), rank...),
+		Clique:        append([]uint32(nil), clique...),
+		TransitDegree: ix.TransitDegrees(),
+		Degree:        ix.Degrees(),
+	}
+	inferCliqueSize.Set(float64(len(res.Clique)))
+	if root := trace.FromContext(ctx); root != nil {
+		root.SetAttrInt("clique_size", int64(len(res.Clique)))
+	}
+	cliqueSet := make(map[uint32]bool, len(res.Clique))
+	for _, c := range res.Clique {
+		cliqueSet[c] = true
 	}
 
 	// stage wraps one pipeline step with per-step duration and
@@ -284,46 +359,9 @@ func inferSanitized(ctx context.Context, ds *paths.Dataset, opts Options, sanSta
 		span.End()
 	}
 
-	// Step 2: ranking.
-	stage("core.infer.rank", "rank", func() {
-		res.TransitDegree = ds.TransitDegrees()
-		res.Degree = ds.Degrees()
-		res.Rank = rankASes(ds, res.TransitDegree, res.Degree)
-	})
-
-	// Step 3: clique.
-	stage("core.infer.clique", "clique", func() {
-		if opts.Clique != nil {
-			res.Clique = append([]uint32(nil), opts.Clique...)
-			sort.Slice(res.Clique, func(i, j int) bool { return res.Clique[i] < res.Clique[j] })
-		} else {
-			res.Clique = inferClique(ds, res.Rank, opts)
-		}
-	})
-	inferCliqueSize.Set(float64(len(res.Clique)))
-	if root := trace.FromContext(ctx); root != nil {
-		root.SetAttrInt("clique_size", int64(len(res.Clique)))
-	}
-	cliqueSet := make(map[uint32]bool, len(res.Clique))
-	for _, c := range res.Clique {
-		cliqueSet[c] = true
-	}
-
-	// Step 4: discard poisoned paths.
-	stage("core.infer.poison", "poison", func() {
-		ds, res.PoisonedPaths = discardPoisoned(ds, cliqueSet)
-		res.Dataset = ds
-	})
-	inferPoisoned.Add(uint64(res.PoisonedPaths))
-	if root := trace.FromContext(ctx); root != nil {
-		root.SetAttrInt("poisoned_paths", int64(res.PoisonedPaths))
-	}
-
 	// Label intra-clique links p2p.
-	var links map[paths.Link]int
 	stage("core.infer.clique_p2p", "clique-p2p", func() {
-		links = ds.Links()
-		for l := range links {
+		for l := range ix.links {
 			if cliqueSet[l.A] && cliqueSet[l.B] {
 				res.Rels[l] = topology.P2P
 				res.Steps[l] = StepClique
@@ -331,7 +369,7 @@ func inferSanitized(ctx context.Context, ds *paths.Dataset, opts Options, sanSta
 		}
 	})
 
-	inf := newInferencer(ds, opts, res, cliqueSet, links)
+	inf := newInferencer(ix, opts, res, cliqueSet)
 	if !opts.DisableProviderless {
 		stage("core.infer.providerless", "providerless", inf.detectProviderless)
 	}
@@ -353,15 +391,6 @@ func rankASes(ds *paths.Dataset, transit, degree map[uint32]int) []uint32 {
 	for asn := range set {
 		out = append(out, asn)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if transit[a] != transit[b] {
-			return transit[a] > transit[b]
-		}
-		if degree[a] != degree[b] {
-			return degree[a] > degree[b]
-		}
-		return a < b
-	})
+	sort.Slice(out, rankLess(out, transit, degree))
 	return out
 }

@@ -25,7 +25,11 @@ func foldFixture(links map[paths.Link]int, transit map[uint32]int, opts Options)
 			}
 		}
 	}
-	return newInferencer(&paths.Dataset{}, opts, res, map[uint32]bool{}, links)
+	ix := NewCorpusIndex()
+	for l, c := range links {
+		ix.links[l] = c
+	}
+	return newInferencer(ix, opts, res, map[uint32]bool{})
 }
 
 // TestFoldLiveUnlabeledCounts pins the satellite bugfix: the

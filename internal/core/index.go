@@ -1,0 +1,275 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/asrank-go/asrank/internal/paths"
+)
+
+// Triple is one consecutive-hop context observed in the corpus: Mid was
+// seen between Prev and Next in some path. Prev is 0 when Mid is the
+// first hop (the vantage point) — the same sentinel step 5 has always
+// used for "no entering hop to reason from".
+type Triple struct {
+	Prev, Mid, Next uint32
+}
+
+// VPPair keys the per-vantage-point aggregates of step 6: which origins
+// a VP's feed reaches, and which first hops it exits through.
+type VPPair struct {
+	VP, Other uint32
+}
+
+// pairKey is an ordered (AS, neighbor) adjacency used to maintain
+// distinct-neighbor counts under reference counting.
+type pairKey struct {
+	x, y uint32
+}
+
+// CorpusIndex holds every corpus-derived aggregate steps 2–9 consume,
+// maintained as reference counts so paths can be added and removed in
+// any order. The index state is a pure function of the current path
+// multiset — adds and removes commute — which is what makes incremental
+// inference provably equal to batch (DESIGN.md §15): inference reads
+// only key presence and the derived distinct-neighbor counts, never the
+// counts of the raw occurrence maps.
+//
+// The index has two layers mirroring the pipeline's step-4 cut:
+//
+//   - the ranked layer (AddPath): aggregates over the full sanitized
+//     corpus, feeding ranking (step 2) and clique inference (step 3);
+//   - the kept layer (AddKept): aggregates over the post-discard corpus
+//     (paths not poisoned under the step-3 clique), feeding the
+//     intra-clique labeling, provider-less detection, and steps 5–9.
+//
+// Batch inference builds both layers by folding +1 over a Dataset; the
+// streaming engine calls the same mutators with ±1 deltas as routes are
+// announced and withdrawn.
+type CorpusIndex struct {
+	// Ranked layer.
+	occur       map[uint32]int     // per-hop AS occurrences (ASes())
+	nbrPair     map[pairKey]int    // ordered (AS, neighbor) occurrences
+	deg         map[uint32]int     // distinct neighbors, derived from nbrPair
+	transitPair map[pairKey]int    // ordered (mid, neighbor) transit occurrences
+	transitDeg  map[uint32]int     // distinct transit neighbors, derived
+	preLinks    map[paths.Link]int // link occurrences
+	preTriples  map[Triple]int     // hop contexts (clique extension evidence)
+
+	// Kept layer.
+	pathCount   int
+	links       map[paths.Link]int
+	triples     map[Triple]int // hop contexts incl. Prev==0 VP contexts (step 5)
+	origins     map[uint32]int // per-path origin occurrences (step 6 universe)
+	vpOrigins   map[VPPair]int // (VP, origin), len>=2 paths only
+	vpFirstHops map[VPPair]int // (VP, first hop), len>=2 paths only
+}
+
+// NewCorpusIndex returns an empty index.
+func NewCorpusIndex() *CorpusIndex {
+	return &CorpusIndex{
+		occur:       make(map[uint32]int),
+		nbrPair:     make(map[pairKey]int),
+		deg:         make(map[uint32]int),
+		transitPair: make(map[pairKey]int),
+		transitDeg:  make(map[uint32]int),
+		preLinks:    make(map[paths.Link]int),
+		preTriples:  make(map[Triple]int),
+		links:       make(map[paths.Link]int),
+		triples:     make(map[Triple]int),
+		origins:     make(map[uint32]int),
+		vpOrigins:   make(map[VPPair]int),
+		vpFirstHops: make(map[VPPair]int),
+	}
+}
+
+// bump adjusts a reference count, deleting the key at zero so key
+// presence always means "at least one backing occurrence". Negative
+// counts are a caller bug: a remove of a path never added.
+func bump[K comparable](m map[K]int, k K, d int) {
+	n := m[k] + d
+	switch {
+	case n < 0:
+		panic("core: corpus index refcount underflow")
+	case n == 0:
+		delete(m, k)
+	default:
+		m[k] = n
+	}
+}
+
+// bumpPair adjusts an adjacency refcount and folds its 0↔1 transitions
+// into the derived distinct-neighbor count of x.
+func bumpPair(pairs map[pairKey]int, counts map[uint32]int, x, y uint32, d int) {
+	k := pairKey{x, y}
+	old := pairs[k]
+	n := old + d
+	switch {
+	case n < 0:
+		panic("core: corpus index refcount underflow")
+	case n == 0:
+		delete(pairs, k)
+	default:
+		pairs[k] = n
+	}
+	if old == 0 && n > 0 {
+		counts[x]++
+	} else if old > 0 && n == 0 {
+		if counts[x] == 1 {
+			delete(counts, x)
+		} else {
+			counts[x]--
+		}
+	}
+}
+
+// AddPath folds one distinct sanitized path into (d=+1) or out of
+// (d=-1) the ranked layer. The caller is responsible for distinctness:
+// the batch pipeline dedupes in Sanitize, the streaming engine
+// refcounts RIB entries per distinct path and calls AddPath only on
+// 0↔1 transitions.
+func (ix *CorpusIndex) AddPath(asns []uint32, d int) {
+	for _, a := range asns {
+		bump(ix.occur, a, d)
+	}
+	for i := 0; i+1 < len(asns); i++ {
+		a, b := asns[i], asns[i+1]
+		bumpPair(ix.nbrPair, ix.deg, a, b, d)
+		bumpPair(ix.nbrPair, ix.deg, b, a, d)
+		bump(ix.preLinks, paths.NewLink(a, b), d)
+		var prev uint32
+		if i > 0 {
+			prev = asns[i-1]
+		}
+		bump(ix.preTriples, Triple{Prev: prev, Mid: a, Next: b}, d)
+	}
+	for i := 1; i+1 < len(asns); i++ {
+		mid := asns[i]
+		bumpPair(ix.transitPair, ix.transitDeg, mid, asns[i-1], d)
+		bumpPair(ix.transitPair, ix.transitDeg, mid, asns[i+1], d)
+	}
+}
+
+// AddKept folds one distinct non-poisoned path into (d=+1) or out of
+// (d=-1) the kept layer. Poisoned-ness is a per-path function of the
+// clique (see Poisoned); when the clique changes, the engine resets the
+// layer and re-adds every surviving path.
+func (ix *CorpusIndex) AddKept(asns []uint32, d int) {
+	if len(asns) == 0 {
+		return
+	}
+	ix.pathCount += d
+	bump(ix.origins, asns[len(asns)-1], d)
+	if len(asns) >= 2 {
+		bump(ix.vpOrigins, VPPair{VP: asns[0], Other: asns[len(asns)-1]}, d)
+		bump(ix.vpFirstHops, VPPair{VP: asns[0], Other: asns[1]}, d)
+	}
+	for i := 0; i+1 < len(asns); i++ {
+		bump(ix.links, paths.NewLink(asns[i], asns[i+1]), d)
+		var prev uint32
+		if i > 0 {
+			prev = asns[i-1]
+		}
+		bump(ix.triples, Triple{Prev: prev, Mid: asns[i], Next: asns[i+1]}, d)
+	}
+}
+
+// ResetKept clears the kept layer. The streaming engine calls this when
+// the clique changes (the global dirty region): every path's poisoned
+// flag is re-evaluated and the survivors re-added.
+func (ix *CorpusIndex) ResetKept() {
+	ix.pathCount = 0
+	ix.links = make(map[paths.Link]int)
+	ix.triples = make(map[Triple]int)
+	ix.origins = make(map[uint32]int)
+	ix.vpOrigins = make(map[VPPair]int)
+	ix.vpFirstHops = make(map[VPPair]int)
+}
+
+// PathCount returns the number of distinct paths in the kept layer.
+func (ix *CorpusIndex) PathCount() int { return ix.pathCount }
+
+// Links returns the kept layer's link set, keyed like Dataset.Links.
+// The map is shared with the index — callers must not mutate it, and
+// must not retain it across further Add calls.
+func (ix *CorpusIndex) Links() map[paths.Link]int { return ix.links }
+
+// TransitDegrees returns a copy of the transit-degree metric, equal to
+// Dataset.TransitDegrees over the ranked corpus.
+func (ix *CorpusIndex) TransitDegrees() map[uint32]int {
+	out := make(map[uint32]int, len(ix.transitDeg))
+	for a, n := range ix.transitDeg {
+		out[a] = n
+	}
+	return out
+}
+
+// Degrees returns a copy of the node-degree metric, equal to
+// Dataset.Degrees over the ranked corpus.
+func (ix *CorpusIndex) Degrees() map[uint32]int {
+	out := make(map[uint32]int, len(ix.deg))
+	for a, n := range ix.deg {
+		out[a] = n
+	}
+	return out
+}
+
+// Rank orders every observed AS by decreasing transit degree, then
+// decreasing node degree, then ascending ASN — step 2 over the ranked
+// layer, equal to rankASes over the corresponding Dataset.
+func (ix *CorpusIndex) Rank() []uint32 {
+	out := make([]uint32, 0, len(ix.occur))
+	for asn := range ix.occur {
+		out = append(out, asn)
+	}
+	sort.Slice(out, rankLess(out, ix.transitDeg, ix.deg))
+	return out
+}
+
+// rankLess is the step-2 ordering over s: decreasing transit degree,
+// then decreasing node degree, then ascending ASN.
+func rankLess(s []uint32, transit, degree map[uint32]int) func(i, j int) bool {
+	return func(i, j int) bool {
+		a, b := s[i], s[j]
+		if transit[a] != transit[b] {
+			return transit[a] > transit[b]
+		}
+		if degree[a] != degree[b] {
+			return degree[a] > degree[b]
+		}
+		return a < b
+	}
+}
+
+// sortedTriples returns the keys of a triple map in (Mid, Next, Prev)
+// order, so map iteration order never reaches inference.
+func sortedTriples(m map[Triple]int) []Triple {
+	out := make([]Triple, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mid != out[j].Mid {
+			return out[i].Mid < out[j].Mid
+		}
+		if out[i].Next != out[j].Next {
+			return out[i].Next < out[j].Next
+		}
+		return out[i].Prev < out[j].Prev
+	})
+	return out
+}
+
+// predecessorPairs maps each AS to the distinct ordered hop pairs that
+// directly precede it in ranked-layer paths — the clique-extension
+// evidence. Pair order within a slice is deterministic (sorted triple
+// order); consumers only test membership.
+func (ix *CorpusIndex) predecessorPairs() map[uint32][][2]uint32 {
+	out := make(map[uint32][][2]uint32)
+	for _, t := range sortedTriples(ix.preTriples) {
+		if t.Prev == 0 {
+			continue // first-hop context, not a 3-hop window
+		}
+		out[t.Next] = append(out[t.Next], [2]uint32{t.Prev, t.Mid})
+	}
+	return out
+}

@@ -8,15 +8,15 @@ import (
 	"github.com/asrank-go/asrank/internal/topology"
 )
 
-// inferencer carries the mutable state of steps 5–9. Every observed AS
-// is interned into a dense index so the cycle-prevention digraph and
+// inferencer carries the mutable state of steps 5–9, reading the
+// corpus only through the index's kept-layer aggregates. Every observed
+// AS is interned into a dense index so the cycle-prevention digraph and
 // its reachability queries run on ints and bitsets instead of maps.
 type inferencer struct {
-	ds     *paths.Dataset
+	ix     *CorpusIndex
 	opts   Options
 	res    *Result
 	clique map[uint32]bool
-	links  map[paths.Link]int
 
 	// idx interns every ranked AS; custIdx is the p2c digraph built so
 	// far (provider position → customer positions), used for cycle
@@ -40,14 +40,13 @@ type inferencer struct {
 
 // newInferencer interns the ranked AS set and prepares the mutable
 // inference state.
-func newInferencer(ds *paths.Dataset, opts Options, res *Result, clique map[uint32]bool, links map[paths.Link]int) *inferencer {
+func newInferencer(ix *CorpusIndex, opts Options, res *Result, clique map[uint32]bool) *inferencer {
 	idx := asindex.New(res.Rank)
 	return &inferencer{
-		ds:           ds,
+		ix:           ix,
 		opts:         opts,
 		res:          res,
 		clique:       clique,
-		links:        links,
 		idx:          idx,
 		custIdx:      make([][]int32, idx.Len()),
 		desc:         make([]asindex.Bitset, idx.Len()),
@@ -74,7 +73,7 @@ func (in *inferencer) detectProviderless() {
 		return
 	}
 	adjClique := make(map[uint32]int)
-	for l := range in.links {
+	for l := range in.ix.links {
 		a, b := l.A, l.B
 		if in.clique[a] && !in.clique[b] {
 			adjClique[b]++
@@ -84,11 +83,9 @@ func (in *inferencer) detectProviderless() {
 		}
 	}
 	crossed := make(map[uint32]bool) // X observed as (clique, clique, X)
-	for _, p := range in.ds.Paths {
-		for i := 0; i+2 < len(p.ASNs); i++ {
-			if in.clique[p.ASNs[i]] && in.clique[p.ASNs[i+1]] && !in.clique[p.ASNs[i+2]] {
-				crossed[p.ASNs[i+2]] = true
-			}
+	for t := range in.ix.triples {
+		if t.Prev != 0 && in.clique[t.Prev] && in.clique[t.Mid] && !in.clique[t.Next] {
+			crossed[t.Next] = true
 		}
 	}
 	// A provider-less network peers with most of the clique; a stub
@@ -191,42 +188,19 @@ type triplet struct {
 // The pass repeats until a fixpoint (bounded by TopDownPasses), since a
 // later AS's labels can unlock an earlier AS's triplets.
 func (in *inferencer) topDown() {
-	// Collect distinct triplets per middle AS, keyed by interned
-	// position: every ranked AS has a dense slot, so the per-AS lookup
-	// in the fixpoint loop is an index, not a map probe.
-	trips := make([]map[triplet]bool, in.idx.Len())
-	for _, p := range in.ds.Paths {
-		for i := 0; i+1 < len(p.ASNs); i++ {
-			zi, ok := in.idx.Pos(p.ASNs[i])
-			if !ok {
-				continue // not ranked: cannot appear in Rank order below
-			}
-			var prev uint32
-			if i > 0 {
-				prev = p.ASNs[i-1]
-			}
-			m := trips[zi]
-			if m == nil {
-				m = make(map[triplet]bool)
-				trips[zi] = m
-			}
-			m[triplet{prev: prev, next: p.ASNs[i+1]}] = true
+	// Collect the distinct triplets per middle AS from the kept-layer
+	// contexts, keyed by interned position: every ranked AS has a dense
+	// slot, so the per-AS lookup in the fixpoint loop is an index, not a
+	// map probe. Appending in globally sorted (Mid, Next, Prev) order
+	// leaves each per-AS slice already in the deterministic (next, prev)
+	// order the fixpoint visits.
+	sortedTrips := make([][]triplet, in.idx.Len())
+	for _, t := range sortedTriples(in.ix.triples) {
+		zi, ok := in.idx.Pos(t.Mid)
+		if !ok {
+			continue // not ranked: cannot appear in Rank order below
 		}
-	}
-	// Deterministic triplet order per AS.
-	sortedTrips := make([][]triplet, len(trips))
-	for zi, m := range trips {
-		ts := make([]triplet, 0, len(m))
-		for t := range m {
-			ts = append(ts, t)
-		}
-		sort.Slice(ts, func(i, j int) bool {
-			if ts[i].next != ts[j].next {
-				return ts[i].next < ts[j].next
-			}
-			return ts[i].prev < ts[j].prev
-		})
-		sortedTrips[zi] = ts
+		sortedTrips[zi] = append(sortedTrips[zi], triplet{prev: t.Prev, next: t.Next})
 	}
 
 	for pass := 0; pass < in.opts.TopDownPasses; pass++ {
@@ -280,48 +254,37 @@ func (in *inferencer) enteredFromAbove(z, prev uint32) bool {
 // (it treats the collector as a peer), so every unlabeled first hop of
 // its paths is one of its customers.
 func (in *inferencer) vpPass() {
-	origins := make(map[uint32]bool)
-	for _, p := range in.ds.Paths {
-		origins[p.Origin()] = true
+	// Distinct origins per VP: counting keys of the (VP, origin)
+	// refcount map is order-free (commutative increments).
+	vpOriginCount := make(map[uint32]int)
+	for k := range in.ix.vpOrigins {
+		vpOriginCount[k.VP]++
 	}
-	vpOrigins := make(map[uint32]map[uint32]bool)
-	vpFirstHops := make(map[uint32]map[uint32]bool)
-	for _, p := range in.ds.Paths {
-		if len(p.ASNs) < 2 {
-			continue
+	// Visiting (VP, first hop) keys in ascending order reproduces the
+	// batch order exactly: VPs ascending, hops ascending within a VP.
+	hops := make([]VPPair, 0, len(in.ix.vpFirstHops))
+	for k := range in.ix.vpFirstHops {
+		hops = append(hops, k)
+	}
+	sort.Slice(hops, func(i, j int) bool {
+		if hops[i].VP != hops[j].VP {
+			return hops[i].VP < hops[j].VP
 		}
-		vp := p.ASNs[0]
-		if vpOrigins[vp] == nil {
-			vpOrigins[vp] = make(map[uint32]bool)
-			vpFirstHops[vp] = make(map[uint32]bool)
-		}
-		vpOrigins[vp][p.Origin()] = true
-		vpFirstHops[vp][p.ASNs[1]] = true
-	}
-	threshold := in.opts.PartialFeedOriginFrac * float64(len(origins))
-	vps := make([]uint32, 0, len(vpOrigins))
-	for vp := range vpOrigins {
-		vps = append(vps, vp)
-	}
-	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
-	for _, vp := range vps {
-		if float64(len(vpOrigins[vp])) >= threshold {
+		return hops[i].Other < hops[j].Other
+	})
+	threshold := in.opts.PartialFeedOriginFrac * float64(len(in.ix.origins))
+	for _, k := range hops {
+		if float64(vpOriginCount[k.VP]) >= threshold {
 			continue // full-ish feed: first hops may be providers/peers
 		}
-		hops := make([]uint32, 0, len(vpFirstHops[vp]))
-		for h := range vpFirstHops[vp] {
-			hops = append(hops, h)
+		vp, h := k.VP, k.Other
+		if in.labeled(vp, h) || in.clique[h] || in.providerless[h] {
+			continue
 		}
-		sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
-		for _, h := range hops {
-			if in.labeled(vp, h) || in.clique[h] || in.providerless[h] {
-				continue
-			}
-			if in.createsCycle(vp, h) {
-				continue
-			}
-			in.setC2P(vp, h, StepVP)
+		if in.createsCycle(vp, h) {
+			continue
 		}
+		in.setC2P(vp, h, StepVP)
 	}
 }
 
@@ -329,7 +292,7 @@ func (in *inferencer) vpPass() {
 // a clique member is that member's customer — a stub cannot be peering
 // with the top of the hierarchy.
 func (in *inferencer) stubClique() {
-	for _, l := range paths.SortedLinks(in.links) {
+	for _, l := range paths.SortedLinks(in.ix.links) {
 		if _, done := in.res.Rels[l]; done {
 			continue
 		}
@@ -363,14 +326,14 @@ func (in *inferencer) fold() {
 	// stale pre-pass snapshot: a network whose other links fold away
 	// earlier in the same pass is a stub, not peering-rich.
 	unlabeled := make(map[uint32]int)
-	for _, l := range paths.SortedLinks(in.links) {
+	for _, l := range paths.SortedLinks(in.ix.links) {
 		if _, done := in.res.Rels[l]; !done {
 			unlabeled[l.A]++
 			unlabeled[l.B]++
 		}
 	}
 	const peeringRich = 6 // more unlabeled links than any plausible stub
-	for _, l := range paths.SortedLinks(in.links) {
+	for _, l := range paths.SortedLinks(in.ix.links) {
 		if _, done := in.res.Rels[l]; done {
 			continue
 		}
@@ -402,7 +365,7 @@ func (in *inferencer) fold() {
 
 // peerRest implements step 9: everything still unlabeled is peering.
 func (in *inferencer) peerRest() {
-	for l := range in.links {
+	for l := range in.ix.links {
 		if _, done := in.res.Rels[l]; done {
 			continue
 		}

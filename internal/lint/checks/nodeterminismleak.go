@@ -43,6 +43,7 @@ var DeterministicPackages = []string{
 	"internal/cone",
 	"internal/chaos",
 	"internal/paths",
+	"internal/stream",
 	"internal/warehouse",
 }
 

@@ -125,6 +125,22 @@ func SanitizeCtx(ctx context.Context, ds *Dataset, opts SanitizeOptions) (*Datas
 	return out, stats
 }
 
+// SanitizeOne applies the per-path half of the step-1 cleaning to a
+// single AS path: prepending compressed, IXP route-server ASNs spliced
+// out, reserved-ASN and loop paths discarded, too-short results
+// discarded. It returns the cleaned hops and whether the path survives
+// — exactly the keep/clean decision Sanitize makes for each input row,
+// minus the corpus-level duplicate collapse (a streaming consumer
+// reference-counts distinct cleaned paths itself). The returned slice
+// is freshly allocated.
+func SanitizeOne(asns []uint32, ixp map[uint32]bool) ([]uint32, bool) {
+	cleaned, info := sanitizePath(asns, ixp)
+	if info < 0 || len(cleaned) < 2 {
+		return nil, false
+	}
+	return cleaned, true
+}
+
 // flags describing what sanitizePath observed; the two discard reasons
 // are exclusive sentinel values.
 type pathInfo int

@@ -1,0 +1,103 @@
+package streamtest
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"github.com/asrank-go/asrank/internal/chaos"
+	"github.com/asrank-go/asrank/internal/stream"
+)
+
+// fuzzASNs maps mutator bytes onto a small, adversarial ASN alphabet:
+// mostly a dense core (1..56) so paths collide into a real graph, plus
+// the values sanitization and refcounting must survive — zero, the
+// reserved-private floor, AS_TRANS, 16-bit and 32-bit maxima.
+var fuzzASNs = func() []uint32 {
+	tab := make([]uint32, 0, 64)
+	for i := uint32(1); i <= 56; i++ {
+		tab = append(tab, i)
+	}
+	return append(tab, 0, 64512, 23456, 65535, 4_200_000_000, 4_294_967_295)
+}()
+
+// applyFuzzProgram decodes one byte stream as a route-event program
+// and applies it to both the engine and the independent mirror,
+// committing (and differentially checking) whenever the program says
+// to. Layout per op: [opcode][vp][pfxHi][pfxLo][pathLen][pathLen ASN
+// picks]; opcode%8 selects withdraw (0), commit+check (1), announce
+// (2..7, biased toward announces so tables actually grow).
+func applyFuzzProgram(t *testing.T, data []byte) {
+	eng := stream.New(stream.Options{})
+	mirror := make(Mirror)
+	check := func(ep int) {
+		inc := eng.Commit(context.Background())
+		batch := BatchReference(mirror, stream.Options{})
+		if err := EquivCheck(inc, batch); err != nil {
+			t.Fatalf("commit %d of fuzz program: %v", ep, err)
+		}
+	}
+	commits := 0
+	for i := 0; i+5 <= len(data); {
+		op, vp := data[i]%8, uint32(data[i+1]%5)
+		key := RouteKey{
+			Collector: string(rune('a' + data[i+1]%2)),
+			VP:        vp,
+			Prefix:    netip.PrefixFrom(netip.AddrFrom4([4]byte{10, data[i+2], data[i+3], 0}), 24),
+		}
+		n := int(data[i+4] % 12)
+		i += 5
+		switch op {
+		case 0:
+			mirror.Apply(Event{Withdraw: true, Key: key})
+			eng.Withdraw(key.Collector, key.VP, key.Prefix)
+		case 1:
+			commits++
+			check(commits)
+			i += n // consume the path bytes the announce would have
+		default:
+			if i+n > len(data) {
+				return
+			}
+			asns := make([]uint32, 0, n)
+			for _, b := range data[i : i+n] {
+				asns = append(asns, fuzzASNs[int(b)%len(fuzzASNs)])
+			}
+			i += n
+			mirror.Apply(Event{Key: key, ASNs: asns})
+			eng.Announce(key.Collector, key.VP, key.Prefix, asns)
+		}
+	}
+	commits++
+	check(commits)
+}
+
+// FuzzCorpusMutator fuzzes the incremental corpus mutator end to end:
+// arbitrary byte programs become announce/withdraw/commit streams that
+// must never panic the engine and must stay bit-identical to the batch
+// reference at every commit. Seeds include chaos-corrupted variants of
+// a known-good program, so the explored space starts at the boundary
+// where valid schedules decay into garbage.
+func FuzzCorpusMutator(f *testing.F) {
+	// A known-good program: announces across two VPs sharing hops, a
+	// garbage path, a withdraw, a mid-program commit, a reroute.
+	base := []byte{
+		2, 0, 0, 1, 4, 1, 2, 3, 4,
+		2, 1, 0, 2, 4, 5, 2, 3, 4,
+		2, 0, 0, 3, 5, 1, 2, 60, 3, 4, // hop 60 → ASN 0: sanitize must drop
+		0, 1, 0, 2, 0,
+		1, 0, 0, 0, 0,
+		2, 0, 0, 1, 5, 1, 2, 6, 3, 4,
+	}
+	f.Add(base)
+	f.Add([]byte{})
+	for _, v := range chaos.CorruptVariants(20130401, base, 8) {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512] // bound per-input work; structure, not size, finds bugs
+		}
+		applyFuzzProgram(t, data)
+	})
+}

@@ -1,0 +1,126 @@
+package streamtest
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/asrank-go/asrank/internal/apiserver"
+	"github.com/asrank-go/asrank/internal/stream"
+)
+
+// TestHotSwapNoStaleServing pins the serving contract streaming mode
+// leans on: while the streaming engine's epochs are hot-swapped into a
+// live API surface mid-flight, concurrent clients revalidating with
+// If-None-Match must never see a 5xx and never a stale-ETag 200 — a
+// 200 always carries an ETag different from the one the client sent,
+// and a 304 always means the client's tag is still current.
+func TestHotSwapNoStaleServing(t *testing.T) {
+	// Produce a sequence of distinct epochs from a churn schedule.
+	sched := NewSchedule(11, baseCorpus(), 6, 25)
+	eng := stream.New(stream.Options{})
+	var datas []*apiserver.Data
+	for _, evs := range sched.Epochs {
+		for _, ev := range evs {
+			if ev.Withdraw {
+				eng.Withdraw(ev.Key.Collector, ev.Key.VP, ev.Key.Prefix)
+			} else {
+				eng.Announce(ev.Key.Collector, ev.Key.VP, ev.Key.Prefix, ev.ASNs)
+			}
+		}
+		datas = append(datas, apiserver.BuildSnapshot(eng.Commit(context.Background())))
+	}
+	if len(datas) < 3 {
+		t.Fatal("schedule produced too few epochs to exercise swapping")
+	}
+
+	live := apiserver.NewLive(nil, apiserver.Config{}) // zero ShedPolicy: no shedding
+	live.Swap(datas[0])
+	ts := httptest.NewServer(live)
+	defer ts.Close()
+
+	var (
+		stop      atomic.Bool
+		got200    atomic.Int64
+		got304    atomic.Int64
+		refreshed atomic.Int64 // 200s that replaced a previously-held tag
+	)
+	// Data routes only: /health is a liveness probe that deliberately
+	// answers 200 (never 304) even to a matching If-None-Match, so it
+	// cannot participate in the staleness invariant.
+	urls := []string{
+		ts.URL + "/api/v1/asns",
+		ts.URL + "/api/v1/asns?limit=5",
+		ts.URL + "/api/v1/clique",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := ts.Client()
+			held := "" // last validator this client saw
+			for i := 0; !stop.Load(); i++ {
+				req, _ := http.NewRequest(http.MethodGet, urls[(g+i)%len(urls)], nil)
+				if held != "" {
+					req.Header.Set("If-None-Match", held)
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("client %d: %v", g, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				tag := resp.Header.Get("ETag")
+				switch {
+				case resp.StatusCode >= 500:
+					t.Errorf("client %d: %s mid-swap", g, resp.Status)
+					return
+				case resp.StatusCode == http.StatusNotModified:
+					got304.Add(1)
+					if tag != "" && tag != held {
+						t.Errorf("client %d: 304 with ETag %s but client sent %s", g, tag, held)
+						return
+					}
+				case resp.StatusCode == http.StatusOK:
+					got200.Add(1)
+					if held != "" && tag == held {
+						t.Errorf("client %d: stale 200: fresh body under the ETag %s the client already holds", g, held)
+						return
+					}
+					if held != "" && tag != held {
+						refreshed.Add(1)
+					}
+					held = tag
+				}
+			}
+		}(g)
+	}
+
+	// Swap through every epoch while the clients hammer.
+	for _, d := range datas[1:] {
+		live.Swap(d)
+		for i := 0; i < 50; i++ { // let requests land on this epoch
+			resp, err := http.Get(urls[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got200.Load() == 0 || got304.Load() == 0 || refreshed.Load() == 0 {
+		t.Fatalf("mix proved nothing: %d 200s, %d 304s, %d refreshes — wanted all three nonzero",
+			got200.Load(), got304.Load(), refreshed.Load())
+	}
+	t.Logf("hot-swap mix: %d 200s (%d epoch refreshes), %d 304s across %d swaps",
+		got200.Load(), refreshed.Load(), got304.Load(), len(datas)-1)
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/asrank-go/asrank/internal/asindex"
 	"github.com/asrank-go/asrank/internal/cone"
 	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/topology"
 )
 
@@ -121,47 +123,99 @@ func (s *Snapshot) Cone(p int32) []uint64 {
 func FromResult(res *core.Result) *Snapshot {
 	rels := cone.NewRelations(res.Rels)
 	bits := rels.ProviderPeerObservedBits(res.Dataset)
-	idx := bits.Index()
+	words, _ := bits.ExportSlab()
+	return Compose(ComposeInput{
+		Index:         bits.Index(),
+		ConeWords:     words,
+		TransitDegree: res.TransitDegree,
+		Degree:        res.Degree,
+		PrefixCounts:  cone.PrefixCounts(res.Dataset),
+		Rels:          res.Rels,
+		Steps:         res.Steps,
+		Clique:        res.Clique,
+		PathCount:     res.Dataset.NumPaths(),
+	})
+}
+
+// ComposeInput carries the already-computed ingredients of one epoch:
+// the interned index, the cone slab expressed over it, the ranking
+// aggregates, and the labeled relationship set. FromResult derives
+// them from a batch inference result; the streaming engine maintains
+// them incrementally and hands them over directly.
+type ComposeInput struct {
+	// Index is the interned AS set (the sorted endpoints of Rels — the
+	// same index cone.NewRelations builds).
+	Index *asindex.Index
+	// ConeWords is the provider/peer-observed cone slab in ExportSlab
+	// layout over Index. Ownership passes to the snapshot; the caller
+	// must not mutate it afterwards.
+	ConeWords []uint64
+	// TransitDegree and Degree are the step-2 ranking aggregates over
+	// the sanitized (pre-discard) corpus; missing ASes read as zero.
+	TransitDegree map[uint32]int
+	Degree        map[uint32]int
+	// PrefixCounts is each origin's distinct announced prefix count in
+	// the kept corpus (cone.PrefixCounts semantics).
+	PrefixCounts map[uint32]int
+	// Rels and Steps are the labeled links with provenance.
+	Rels  map[paths.Link]topology.Relationship
+	Steps map[paths.Link]core.Step
+	// Clique is the inferred clique, ascending ASN.
+	Clique []uint32
+	// PathCount is the kept-corpus size.
+	PathCount int
+	// Workers bounds the parallel cone passes (<= 0 selects
+	// GOMAXPROCS); worker count never changes the snapshot.
+	Workers int
+}
+
+// Compose assembles a columnar snapshot from precomputed ingredients.
+// Batch (FromResult) and streaming epochs flow through this one
+// function, so a streaming epoch whose ingredients match a batch run's
+// is bit-identical to it — column for column, and therefore ETag for
+// ETag once built into an API snapshot.
+func Compose(in ComposeInput) *Snapshot {
+	idx := in.Index
+	bits := cone.FromSlab(idx, in.ConeWords, in.Workers)
 	n := idx.Len()
 
 	snap := &Snapshot{
 		ASNs:      append([]uint32(nil), idx.ASNs()...),
-		PathCount: int64(res.Dataset.NumPaths()),
-		NumRels:   int64(len(res.Rels)),
+		PathCount: int64(in.PathCount),
+		NumRels:   int64(len(in.Rels)),
 	}
 
 	snap.TransitDegree = make([]int32, n)
 	snap.Degree = make([]int32, n)
 	for i := 0; i < n; i++ {
 		asn := idx.ASN(int32(i))
-		snap.TransitDegree[i] = int32(res.TransitDegree[asn])
-		snap.Degree[i] = int32(res.Degree[asn])
+		snap.TransitDegree[i] = int32(in.TransitDegree[asn])
+		snap.Degree[i] = int32(in.Degree[asn])
 	}
 
 	// Cone-prefix totals, exactly as the API snapshot precomputes them.
-	prefixes := cone.PrefixCounts(res.Dataset)
 	weights := make([]int64, n)
-	for asn, c := range prefixes {
+	for asn, c := range in.PrefixCounts {
 		if p, ok := idx.Pos(asn); ok {
 			weights[p] = int64(c)
 		}
 	}
 	snap.ConePrefixes = bits.WeightedSizes(weights)
 
-	rank := cone.Rank(bits.Sizes(), res.TransitDegree)
+	rank := cone.Rank(bits.Sizes(), in.TransitDegree)
 	snap.RankPos = make([]int32, len(rank))
 	for i, asn := range rank {
 		p, _ := idx.Pos(asn)
 		snap.RankPos[i] = p
 	}
 
-	snap.Clique = append([]uint32{}, res.Clique...)
+	snap.Clique = append([]uint32{}, in.Clique...)
 
 	// Links sorted by position pair; the provenance table is assigned
 	// in first-appearance order over the sorted links, so two identical
 	// results produce identical tables regardless of map iteration.
-	snap.Links = make([]LinkRec, 0, len(res.Rels))
-	for l, rel := range res.Rels {
+	snap.Links = make([]LinkRec, 0, len(in.Rels))
+	for l, rel := range in.Rels {
 		pa, oka := idx.Pos(l.A)
 		pb, okb := idx.Pos(l.B)
 		if !oka || !okb {
@@ -180,7 +234,7 @@ func FromResult(res *core.Result) *Snapshot {
 		}
 		// paths.Link is normalized A < B and interning preserves ASN
 		// order, so pa < pb already.
-		snap.Links = append(snap.Links, LinkRec{A: pa, B: pb, Rel: code, Step: uint8(res.Steps[l])})
+		snap.Links = append(snap.Links, LinkRec{A: pa, B: pb, Rel: code, Step: uint8(in.Steps[l])})
 	}
 	sort.Slice(snap.Links, func(i, j int) bool {
 		if snap.Links[i].A != snap.Links[j].A {
@@ -200,6 +254,6 @@ func FromResult(res *core.Result) *Snapshot {
 		snap.Links[i].Step = id
 	}
 
-	snap.ConeWords, _ = bits.ExportSlab()
+	snap.ConeWords = in.ConeWords
 	return snap
 }

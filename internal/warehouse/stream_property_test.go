@@ -1,0 +1,109 @@
+package warehouse_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/asrank-go/asrank/internal/apiserver"
+	"github.com/asrank-go/asrank/internal/bgpsim"
+	"github.com/asrank-go/asrank/internal/stream"
+	"github.com/asrank-go/asrank/internal/streamtest"
+	"github.com/asrank-go/asrank/internal/topology"
+	"github.com/asrank-go/asrank/internal/warehouse"
+)
+
+// TestStreamEpochsRoundTripLikeBatch is the streaming/durability
+// property: epochs produced incrementally and appended to a warehouse
+// must, after a cold reopen (segment decode, delta-chain replay),
+// rebuild the exact serving snapshots — same ETag at every epoch — as
+// a store fed from batch runs over the same schedule. Delta encoding
+// against the previous epoch must not smuggle incremental-vs-batch
+// differences past the equivalence proof.
+func TestStreamEpochsRoundTripLikeBatch(t *testing.T) {
+	p := topology.DefaultParams(57)
+	p.ASes = 120
+	topo := topology.Generate(p)
+	sopts := bgpsim.DefaultOptions(57)
+	sopts.NumVPs = 5
+	sim, err := bgpsim.Run(topo, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := streamtest.NewSchedule(57, sim.Dataset, 5, 20)
+
+	incDir, batchDir := t.TempDir(), t.TempDir()
+	// CheckpointEvery 3 forces both full and delta segments into a
+	// 5-epoch chain, so replay is exercised on reopen.
+	incStore, err := warehouse.Open(incDir, warehouse.Options{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchStore, err := warehouse.Open(batchDir, warehouse.Options{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := stream.New(stream.Options{})
+	mirror := make(streamtest.Mirror)
+	for ep, evs := range sched.Epochs {
+		for _, ev := range evs {
+			mirror.Apply(ev)
+			if ev.Withdraw {
+				eng.Withdraw(ev.Key.Collector, ev.Key.VP, ev.Key.Prefix)
+			} else {
+				eng.Announce(ev.Key.Collector, ev.Key.VP, ev.Key.Prefix, ev.ASNs)
+			}
+		}
+		inc := eng.Commit(context.Background())
+		batch := streamtest.BatchReference(mirror, stream.Options{})
+		if _, err := incStore.Append(inc, "stream", apiserver.BuildSnapshot(inc).ETag()); err != nil {
+			t.Fatalf("epoch %d: append incremental: %v", ep, err)
+		}
+		if _, err := batchStore.Append(batch, "batch", apiserver.BuildSnapshot(batch).ETag()); err != nil {
+			t.Fatalf("epoch %d: append batch: %v", ep, err)
+		}
+	}
+
+	// Cold reopen: everything below reads from disk, through CRC
+	// validation and delta replay, with no in-memory carryover.
+	incStore, err = warehouse.Open(incDir, warehouse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchStore, err = warehouse.Open(batchDir, warehouse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incEpochs, batchEpochs := incStore.Epochs(), batchStore.Epochs()
+	if len(incEpochs) != len(sched.Epochs) || len(batchEpochs) != len(sched.Epochs) {
+		t.Fatalf("reopen lost epochs: incremental %d, batch %d, want %d",
+			len(incEpochs), len(batchEpochs), len(sched.Epochs))
+	}
+	sawDelta := false
+	for i := range incEpochs {
+		if incEpochs[i].Kind == "delta" {
+			sawDelta = true
+		}
+		incSnap, err := incStore.Snapshot(incEpochs[i].ID)
+		if err != nil {
+			t.Fatalf("decode incremental epoch %d: %v", i, err)
+		}
+		batchSnap, err := batchStore.Snapshot(batchEpochs[i].ID)
+		if err != nil {
+			t.Fatalf("decode batch epoch %d: %v", i, err)
+		}
+		if err := streamtest.EquivCheck(incSnap, batchSnap); err != nil {
+			t.Fatalf("epoch %d after round trip: %v", i, err)
+		}
+		got := apiserver.BuildSnapshot(incSnap).ETag()
+		if got != incEpochs[i].ETag {
+			t.Errorf("epoch %d: decoded incremental ETag %s, manifest recorded %s", i, got, incEpochs[i].ETag)
+		}
+		if got != batchEpochs[i].ETag {
+			t.Errorf("epoch %d: incremental ETag %s, batch manifest %s", i, got, batchEpochs[i].ETag)
+		}
+	}
+	if !sawDelta {
+		t.Error("no delta epochs in the chain; the round trip never exercised delta replay")
+	}
+}
