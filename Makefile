@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint bench bench-api bench-store bench-stream metrics-lint fuzz-smoke trace-demo
+.PHONY: build test check lint lint-report bench bench-api bench-store bench-stream metrics-lint fuzz-smoke trace-demo
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,21 @@ check: lint
 	$(GO) test -race ./...
 
 # The repo's own analyzer suite (DESIGN.md §9): concurrency,
-# determinism, observability-naming, and error-wrapping invariants.
-# Exit 1 means findings; suppress individual lines with
-# `//lint:ignore <analyzer> <reason>`.
+# determinism, observability-naming, error-wrapping, publish-freeze,
+# hot-path allocation, and lock-discipline invariants. Exit 1 means
+# findings; suppress individual lines with
+# `//lint:ignore <analyzer> <reason>`, or use the //asrank:
+# annotations the dataflow analyzers read (see DESIGN.md §9).
 lint:
 	$(GO) run ./cmd/asrank-lint ./...
+
+# Same run, but leave machine-readable reports at the repo root: a
+# SARIF 2.1.0 log (code-scanning upload) and the custom JSON report
+# (findings plus the registered-analyzer inventory). Exit status is
+# the same contract as `make lint`.
+lint-report:
+	$(GO) run ./cmd/asrank-lint -sarif lint.sarif -json lint.json ./...
+	@echo "reports in lint.sarif and lint.json"
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -1,18 +1,31 @@
-// Command asrank-lint is the repo's invariant multichecker: five
+// Command asrank-lint is the repo's invariant multichecker: nine
 // custom analyzers enforcing the bounded-concurrency, determinism,
-// observability-naming, error-wrapping, and typed-atomics rules the
-// inference pipeline depends on (see DESIGN.md §9).
+// observability-naming, error-wrapping, and typed-atomics rules plus
+// the three dataflow invariants behind the serving stack —
+// publish-freeze (immutablepub), zero-allocation hot paths
+// (hotpathalloc), and lock discipline (lockdiscipline) — together
+// with the //asrank: annotation grammar itself (asrankannotations).
+// See DESIGN.md §9.
 //
-//	asrank-lint ./...          # lint the whole repository
-//	asrank-lint -list          # describe the analyzers
+//	asrank-lint ./...                    # lint the whole repository
+//	asrank-lint -list                    # describe the analyzers
 //	asrank-lint -only errwrap ./internal/collector
+//	asrank-lint -sarif lint.sarif ./...  # CI artifact
+//	asrank-lint -json - -timing ./...    # report to stdout, times to stderr
+//
+// Packages parse concurrently on the bounded internal/pool (-workers
+// caps the fan-out); findings are sorted by file/offset/analyzer
+// before rendering, so output is byte-stable across worker counts.
 //
 // Suppress one finding with a reasoned directive on (or directly
 // above) the offending line:
 //
 //	//lint:ignore noderivedgo accept loop lives for the server's lifetime
 //
-// Unused or reasonless directives are themselves findings.
+// Unused or reasonless directives — and directives naming an analyzer
+// that is not registered — are themselves findings. The dataflow
+// analyzers additionally read the //asrank:hotpath, //asrank:mutable,
+// and //asrank:guardedby annotations documented in DESIGN.md §9.
 //
 // Exit codes: 0 no findings; 1 findings; 2 the run itself failed.
 package main

@@ -186,6 +186,8 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // writeHot serves a pre-serialized body with the snapshot ETag. Zero
 // allocations on the compact path; ?pretty=1 re-indents through the
 // pooled buffer.
+//
+//asrank:hotpath
 func (d *Data) writeHot(w http.ResponseWriter, r *http.Request, body []byte) {
 	if wantPretty(r) {
 		buf := bufPool.Get().(*bytes.Buffer)
@@ -300,6 +302,8 @@ func (d *Data) handleBulk(w http.ResponseWriter, r *http.Request, ids string) {
 
 // parseASN is an allocation-free uint32 parser for the hot lookup
 // paths (strconv's error path allocates).
+//
+//asrank:hotpath
 func parseASN(s string) (uint32, bool) {
 	if s == "" || len(s) > 10 {
 		return 0, false
@@ -335,7 +339,10 @@ func (d *Data) asnParam(w http.ResponseWriter, r *http.Request) (uint32, int32, 
 }
 
 // handleASN is the zero-allocation point lookup: parse, probe, write
-// pre-serialized bytes.
+// pre-serialized bytes. The error paths (asnParam) allocate their
+// responses; the success path is pinned by AllocsPerRun.
+//
+//asrank:hotpath
 func (d *Data) handleASN(w http.ResponseWriter, r *http.Request) {
 	_, pos, ok := d.asnParam(w, r)
 	if !ok {
@@ -357,6 +364,8 @@ var coneContainsBufPool = sync.Pool{New: func() any {
 // handleConeContains answers "is member inside asn's customer cone" as
 // a two-probe bitset lookup. Unknown member ASes are a valid query
 // (answer: false), unlike an unknown subject AS (404).
+//
+//asrank:hotpath
 func (d *Data) handleConeContains(w http.ResponseWriter, r *http.Request) {
 	asn, _, ok := d.asnParam(w, r)
 	if !ok {

@@ -21,6 +21,8 @@ var headerJSON = []string{"application/json"}
 
 // setHot stamps the alloc-free response headers for a pre-serialized
 // body: content type plus the snapshot validator.
+//
+//asrank:hotpath
 func (d *Data) setHot(h http.Header) {
 	h["Content-Type"] = headerJSON
 	h["Etag"] = d.etagHeader
@@ -29,6 +31,8 @@ func (d *Data) setHot(h http.Header) {
 // notModified answers a conditional request: when If-None-Match
 // matches the snapshot tag it writes a body-free 304 (with the tag, so
 // caches refresh their metadata) and reports true. Allocation-free.
+//
+//asrank:hotpath
 func (d *Data) notModified(w http.ResponseWriter, r *http.Request) bool {
 	inm := r.Header.Get("If-None-Match")
 	if inm == "" || !etagMatch(inm, d.etag) {
@@ -44,6 +48,8 @@ func (d *Data) notModified(w http.ResponseWriter, r *http.Request) bool {
 // validators (W/ prefix) compare by the weak rule, i.e. the W/ is
 // ignored — correct for GET revalidation. Substring operations only;
 // no allocation.
+//
+//asrank:hotpath
 func etagMatch(inm, etag string) bool {
 	if inm == "*" {
 		return true

@@ -146,11 +146,16 @@ type Server struct {
 	ln   net.Listener
 	m    serverMetrics
 
-	mu       sync.Mutex
-	ds       *paths.Dataset
-	mw       *mrt.Writer
+	mu sync.Mutex
+	//asrank:guardedby mu
+	ds *paths.Dataset
+	//asrank:guardedby mu
+	mw *mrt.Writer
+	//asrank:guardedby mu
 	sessions int
-	updates  int
+	//asrank:guardedby mu
+	updates int
+	//asrank:guardedby mu
 	consumed map[uint32]uint32 // per-peer-ASN UPDATEs consumed (the resume offset)
 
 	wg      sync.WaitGroup

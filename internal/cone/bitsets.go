@@ -24,6 +24,8 @@ func (bs *BitSets) Index() *asindex.Index { return bs.idx }
 func (bs *BitSets) Len() int { return len(bs.cones) }
 
 // Contains reports whether member is in asn's cone.
+//
+//asrank:hotpath
 func (bs *BitSets) Contains(asn, member uint32) bool {
 	ai, ok1 := bs.idx.Pos(asn)
 	mi, ok2 := bs.idx.Pos(member)

@@ -53,6 +53,12 @@ func pairKey(owner, member uint32) uint64 {
 // A path must be uncredited with the same relationships it was credited
 // under; the streaming engine guarantees this by re-crediting affected
 // paths whenever a link's relationship changes.
+//
+// The scratch slices grow by capacity-guarded make calls only — the
+// steady state over a warm engine is allocation-free, which is what
+// the hotpath annotation holds it to.
+//
+//asrank:hotpath
 func (pc *PairCounts) Credit(rel RelLookup, asns []uint32, d int) {
 	n := len(asns)
 	if n < 2 {

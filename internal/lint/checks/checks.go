@@ -1,4 +1,4 @@
-// Package checks holds the five analyzers encoding the repository's
+// Package checks holds the analyzers encoding the repository's
 // load-bearing invariants:
 //
 //   - noderivedgo: all fan-out goes through the bounded internal/pool.
@@ -10,10 +10,21 @@
 //     iteration context.
 //   - nolockcopy-atomics: counters use typed atomics, not the legacy
 //     function-call API over plain integers.
+//   - immutablepub: publish-frozen snapshot types are never written
+//     through after flowing into a publish sink.
+//   - hotpathalloc: //asrank:hotpath functions contain no
+//     allocation-forcing constructs, and the set matches the
+//     AllocsPerRun pins in the test suite.
+//   - lockdiscipline: //asrank:guardedby fields are only touched with
+//     the named mutex held, and no publish sink runs under a lock.
+//   - asrankannotations: the //asrank: directive grammar itself —
+//     malformed or orphaned annotations are findings, because a typo
+//     silently disables the invariant the annotation carries.
 //
 // Each analyzer honors the //lint:ignore suppression mechanism (see
 // internal/lint/ignore) applied by the driver, never by the analyzers
-// themselves.
+// themselves; the three dataflow analyzers additionally honor the
+// //asrank:mutable escape hatch parsed by internal/lint/annotate.
 package checks
 
 import (
@@ -32,6 +43,10 @@ func All() []*analysis.Analyzer {
 		ObsNames,
 		ErrWrap,
 		NoLockCopyAtomics,
+		ImmutablePub,
+		HotPathAlloc,
+		LockDiscipline,
+		AsrankAnnotations,
 	}
 }
 

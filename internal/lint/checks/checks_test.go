@@ -50,3 +50,40 @@ func TestNoLockCopyAtomics(t *testing.T) {
 func TestSuppression(t *testing.T) {
 	linttest.Run(t, src, checks.NoDerivedGo, "suppress")
 }
+
+// TestImmutablePubForeign pins rule 1: outside the frozen type's own
+// package, every write through it is a finding, and //asrank:mutable
+// is the only escape.
+func TestImmutablePubForeign(t *testing.T) {
+	linttest.Run(t, src, checks.ImmutablePub, "immutablepub")
+}
+
+// TestImmutablePubInPackage pins rule 2 on the warehouse golden:
+// construction writes are free, writes after the value flows into a
+// publish sink (Append, Compose) — including through aliases — are
+// findings, and unused mutable directives are reported.
+func TestImmutablePubInPackage(t *testing.T) {
+	linttest.Run(t, src, checks.ImmutablePub, "internal/warehouse")
+}
+
+// TestHotPathAlloc pins each allocation-forcing construct once inside
+// a marked function, its clean counterpart alongside, the unmarked
+// twin staying silent, and the AllocsPerRun cross-check.
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, src, checks.HotPathAlloc, "hotpathalloc")
+}
+
+// TestLockDiscipline pins the interpreter's precision cases: the
+// unlock-in-terminating-branch idiom checks clean, partial branches
+// and post-release accesses are findings, writes need the exclusive
+// flavor of an RWMutex, and publish sinks may not run under a lock.
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, src, checks.LockDiscipline, "lockdiscipline")
+}
+
+// TestAsrankAnnotations pins the directive grammar gate: every
+// malformed or orphaned //asrank: form is one finding, well-formed
+// forms are silent.
+func TestAsrankAnnotations(t *testing.T) {
+	linttest.Run(t, src, checks.AsrankAnnotations, "asrankdir")
+}

@@ -1,0 +1,129 @@
+// Golden input for hotpathalloc: each allocation-forcing construct is
+// seeded once inside an //asrank:hotpath function, with its clean
+// counterpart alongside, and the same constructs in an unmarked
+// function stay silent — the annotation is the opt-in.
+package hotpathalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type payload struct{ a, b uint64 }
+
+func sink(v any)          {}
+func sinkAll(vs ...any)   {}
+func observe(f func() int) {}
+
+//asrank:hotpath
+func fmtUse(n uint32) string {
+	return fmt.Sprintf("AS%d", n) // want "fmt.Sprintf in hot path fmtUse"
+}
+
+//asrank:hotpath
+func cleanAppend(buf []byte, n uint32) []byte {
+	// strconv.Append* into a caller buffer is the sanctioned idiom.
+	return strconv.AppendUint(buf, uint64(n), 10)
+}
+
+//asrank:hotpath
+func conv(b []byte) string {
+	return string(b) // want "conversion copies in hot path conv"
+}
+
+//asrank:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates in hot path concat"
+}
+
+//asrank:hotpath
+func plusAssign(s string) string {
+	s += "!" // want "allocates in hot path plusAssign"
+	return s
+}
+
+//asrank:hotpath
+func closure(xs []int) func() int {
+	f := func() int { return len(xs) } // want "closure escapes to the heap in hot path closure"
+	return f
+}
+
+//asrank:hotpath
+func callback(xs []int) {
+	observe(func() int { return len(xs) }) // want "closure escapes to the heap in hot path callback"
+}
+
+//asrank:hotpath
+func inlineInvoke(xs []int) int {
+	// Immediately invoked literals run inline and never escape.
+	return func() int { return len(xs) }()
+}
+
+//asrank:hotpath
+func unhinted() []uint32 {
+	var out []uint32
+	out = append(out, 1) // want "append grows unhinted slice out in hot path unhinted"
+	return out
+}
+
+//asrank:hotpath
+func hinted() []uint32 {
+	out := make([]uint32, 0, 8)
+	out = append(out, 1) // sized make: clean
+	return out
+}
+
+//asrank:hotpath
+func pooled(buf []byte) []byte {
+	// Appending to a caller-owned buffer is the reuse idiom.
+	return append(buf, 0)
+}
+
+//asrank:hotpath
+func mapWalk(m map[uint32]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration in hot path mapWalk"
+		total += v
+	}
+	return total
+}
+
+//asrank:hotpath
+func sliceWalk(s []int) int {
+	total := 0
+	for _, v := range s { // slice range: clean
+		total += v
+	}
+	return total
+}
+
+//asrank:hotpath
+func boxing(p payload) {
+	sink(p) // want "boxes it onto the heap in hot path boxing"
+}
+
+//asrank:hotpath
+func pointerArg(p *payload) {
+	sink(p) // pointers are word-sized: clean
+}
+
+//asrank:hotpath
+func variadicForward(vs []any) {
+	sinkAll(vs...) // forwarding the slice boxes nothing: clean
+}
+
+//asrank:hotpath
+func suppressed(a, b string) string {
+	return a + b //lint:ignore hotpathalloc one-time startup banner, measured alloc-free enough
+}
+
+// unmarked repeats every construct with no annotation: zero findings.
+func unmarked(m map[uint32]int) string {
+	s := ""
+	for _, v := range m {
+		s += fmt.Sprintf("%d", v)
+	}
+	var out []byte
+	out = append(out, s...)
+	return string(out)
+}

@@ -1,0 +1,23 @@
+// Golden for the AllocsPerRun cross-check: a function pinned by an
+// allocation test must carry //asrank:hotpath, so the analyzer and the
+// test suite always name the same function set. Constructs inside test
+// files themselves are never scanned — the race detector and the pins
+// own test-time behavior.
+package hotpathalloc
+
+import "testing"
+
+func TestPinnedFunctionsAreMarked(t *testing.T) {
+	var buf [24]byte
+	allocs := testing.AllocsPerRun(100, func() {
+		cleanAppend(buf[:0], 64500)
+		unmarked(nil) // want "unmarked is pinned by testing.AllocsPerRun here but is not marked"
+	})
+	_ = allocs
+}
+
+func TestConstructsInTestsStaySilent(t *testing.T) {
+	// fmt-style constructs in a test file are not findings even though
+	// fmtUse is marked hot.
+	_ = fmtUse(1)
+}

@@ -1,0 +1,47 @@
+// Golden input for immutablepub rule 1: outside the frozen type's own
+// package every write through it is a finding — construction happens
+// in-package, so a foreign write is by definition post-construction.
+// The //asrank:mutable escape hatch and its unused-directive report
+// are exercised too.
+package immutablepub
+
+import (
+	"internal/apiserver"
+	"internal/cone"
+	"internal/warehouse"
+)
+
+func mutateForeign(sn *warehouse.Snapshot, bs *cone.BitSets, d *apiserver.Data) {
+	sn.Rel = nil    // want "write to Snapshot.Rel outside package warehouse"
+	bs.Words[0] = 1 // want "write to BitSets.Words outside package cone"
+	d.Etag = ""     // want "write to Data.Etag outside package apiserver"
+}
+
+func mutateMap(r *cone.Relations) {
+	delete(r.P2C, 1) // want "write to Relations.P2C outside package cone"
+	r.P2C[2] = nil   // want "write to Relations.P2C outside package cone"
+}
+
+func growForeign(sn *warehouse.Snapshot) {
+	sn.Epoch++ // want "write to Snapshot.Epoch outside package warehouse"
+}
+
+func excusedForeign(sn *warehouse.Snapshot) {
+	sn.Epoch = 9 //asrank:mutable migration shim rewrites epochs before first publish
+}
+
+func readOnly(sn *warehouse.Snapshot, bs *cone.BitSets) uint64 {
+	// Reads and local copies are free; only writes through the frozen
+	// value are findings.
+	local := sn.Epoch
+	word := bs.Words[0]
+	return local + word
+}
+
+func freshLocalType() {
+	// A locally built value of a foreign frozen type is still foreign:
+	// the package boundary, not the allocation site, is the rule.
+	sn := warehouse.Snapshot{}
+	sn.Epoch = 1 // want "write to Snapshot.Epoch outside package warehouse"
+	_ = sn
+}

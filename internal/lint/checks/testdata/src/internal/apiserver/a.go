@@ -1,0 +1,23 @@
+// Stub of the production apiserver package for the immutablepub and
+// lockdiscipline goldens: the frozen Data type, the Live.Swap publish
+// sink, and the Build/BuildSnapshot constructors.
+package apiserver
+
+import "internal/warehouse"
+
+// Data mirrors the prebuilt response snapshot.
+type Data struct {
+	Etag string
+}
+
+// Live mirrors the atomic handler holder.
+type Live struct{}
+
+// Swap is the publish sink: d is read lock-free by every request after.
+func (l *Live) Swap(d *Data) {}
+
+// Build is a publish sink: its argument becomes served state.
+func Build(sn *warehouse.Snapshot) *Data { return &Data{} }
+
+// BuildSnapshot is the warehouse-snapshot flavor of Build.
+func BuildSnapshot(sn *warehouse.Snapshot) *Data { return &Data{} }

@@ -1,0 +1,21 @@
+// Stub of the production warehouse package: just enough surface for
+// the immutablepub and lockdiscipline goldens — the frozen Snapshot
+// type and the two publish sinks (Store.Append, Compose). The package
+// path suffix matches the production registration, so the same
+// analyzer rules fire here as on the real package.
+package warehouse
+
+// Snapshot mirrors the production publish-frozen epoch snapshot.
+type Snapshot struct {
+	Epoch uint64
+	Rel   []byte
+}
+
+// Store mirrors the epoch warehouse.
+type Store struct{}
+
+// Append is a publish sink: the snapshot is durable and shared after.
+func (s *Store) Append(sn *Snapshot) error { return nil }
+
+// Compose is a publish sink for derived snapshots.
+func Compose(parts ...*Snapshot) *Snapshot { return &Snapshot{} }

@@ -1,0 +1,122 @@
+// Golden input for lockdiscipline: //asrank:guardedby fields must be
+// touched only with the named mutex held on every intraprocedural
+// path. The interpreter's precision cases are all here: the
+// lock/inspect/unlock-and-return idiom, branch merges, RLock-held
+// writes, the *Locked naming convention, fresh locals, and the
+// no-publish-sink-under-lock rule.
+package lockdiscipline
+
+import (
+	"sync"
+
+	"internal/apiserver"
+)
+
+type engine struct {
+	mu sync.Mutex
+	//asrank:guardedby mu
+	count int
+	//asrank:guardedby mu
+	table map[uint32]int
+	name  string // unguarded: free access
+}
+
+type store struct {
+	mu sync.RWMutex
+	//asrank:guardedby mu
+	epochs []uint64
+}
+
+func (e *engine) unguardedRead() int {
+	return e.count // want "access to e.count without holding mu"
+}
+
+func (e *engine) unguardedWrite() {
+	e.count++ // want "access to e.count without holding mu"
+}
+
+func (e *engine) guarded() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.count++ // held: clean
+	return e.count
+}
+
+func (e *engine) inspectAndReturn(key uint32) int {
+	// The release-inside-a-terminating-branch idiom must check clean:
+	// only the fall-through path continues, still holding the lock.
+	e.mu.Lock()
+	if v, ok := e.table[key]; ok {
+		e.mu.Unlock()
+		return v
+	}
+	e.count++
+	e.mu.Unlock()
+	return 0
+}
+
+func (e *engine) partialBranch(ok bool) {
+	if ok {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
+	e.count++ // want "access to e.count without holding mu"
+}
+
+func (e *engine) afterRelease() {
+	e.mu.Lock()
+	e.count++
+	e.mu.Unlock()
+	e.count++ // want "access to e.count without holding mu"
+}
+
+func (e *engine) unguardedFieldFree() string {
+	return e.name // not annotated: clean
+}
+
+// bumpLocked documents the convention: the caller holds e.mu.
+func (e *engine) bumpLocked() {
+	e.count++ // *Locked suffix: clean
+}
+
+func freshLocal() *engine {
+	e := &engine{table: make(map[uint32]int)}
+	e.count = 1 // unpublished constructor state: clean
+	return e
+}
+
+func (s *store) readUnderRLock() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.epochs) // shared lock suffices for reads: clean
+}
+
+func (s *store) writeUnderRLock(v uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.epochs = append(s.epochs, v) // want "write to s.epochs while holding only mu.RLock"
+}
+
+func (s *store) writeUnderLock(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epochs = append(s.epochs, v) // exclusive lock: clean
+}
+
+func (e *engine) publishUnderLock(l *apiserver.Live, d *apiserver.Data) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.count++
+	l.Swap(d) // want "publish sink Live.Swap called while holding mu"
+}
+
+func (e *engine) publishAfterUnlock(l *apiserver.Live, d *apiserver.Data) {
+	e.mu.Lock()
+	e.count++
+	e.mu.Unlock()
+	l.Swap(d) // lock released first: clean
+}
+
+func (e *engine) suppressed() int {
+	return e.count //lint:ignore lockdiscipline snapshot read is advisory, torn reads acceptable
+}

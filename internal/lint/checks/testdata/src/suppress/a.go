@@ -26,3 +26,8 @@ func reasonlessDirective() {
 	//lint:ignore // want "malformed //lint:ignore directive"
 	go loop() // want "naked go statement"
 }
+
+func unregisteredAnalyzer() {
+	//lint:ignore nosuchcheck typo'd analyzer names must not pass silently // want "names unregistered analyzer"
+	go loop() // want "naked go statement"
+}

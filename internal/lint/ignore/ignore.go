@@ -97,9 +97,12 @@ func parse(text string) (*Directive, error) {
 
 // Filter drops diagnostics covered by a directive naming their
 // analyzer, then reports directives that suppressed nothing even
-// though every analyzer they name is in ran. The returned slice is
+// though every analyzer they name is in ran, and directives naming an
+// analyzer absent from known (the full registry): a typo'd name would
+// otherwise sit silently forever, suppressing nothing and fooling
+// readers into thinking the line is exempt. The returned slice is
 // sorted by position.
-func Filter(fset *token.FileSet, diags []analysis.Diagnostic, dirs []*Directive, ran map[string]bool) []analysis.Diagnostic {
+func Filter(fset *token.FileSet, diags []analysis.Diagnostic, dirs []*Directive, ran, known map[string]bool) []analysis.Diagnostic {
 	var out []analysis.Diagnostic
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
@@ -117,7 +120,21 @@ func Filter(fset *token.FileSet, diags []analysis.Diagnostic, dirs []*Directive,
 		}
 	}
 	for _, dir := range dirs {
-		if dir.used {
+		unregistered := false
+		for _, n := range dir.Analyzers {
+			if !known[n] {
+				out = append(out, analysis.Diagnostic{
+					Pos:      dir.Pos,
+					Analyzer: DiagnosticSource,
+					Message: fmt.Sprintf("%s directive names unregistered analyzer %q",
+						prefix, n),
+				})
+				unregistered = true
+			}
+		}
+		if unregistered || dir.used {
+			// A directive with a bad name is already reported; judging
+			// it unused on top would be noise.
 			continue
 		}
 		all := true

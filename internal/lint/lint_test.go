@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSortFindingsTotalOrder pins the determinism contract: findings
+// arriving in any interleaving sort to one byte-stable order keyed by
+// file, then offset, then analyzer, then message.
+func TestSortFindingsTotalOrder(t *testing.T) {
+	scrambled := []finding{
+		{File: "b.go", offset: 10, Analyzer: "zz", Message: "m"},
+		{File: "a.go", offset: 50, Analyzer: "aa", Message: "m"},
+		{File: "a.go", offset: 10, Analyzer: "bb", Message: "m"},
+		{File: "a.go", offset: 10, Analyzer: "aa", Message: "n"},
+		{File: "a.go", offset: 10, Analyzer: "aa", Message: "m"},
+	}
+	sortFindings(scrambled)
+	want := []finding{
+		{File: "a.go", offset: 10, Analyzer: "aa", Message: "m"},
+		{File: "a.go", offset: 10, Analyzer: "aa", Message: "n"},
+		{File: "a.go", offset: 10, Analyzer: "bb", Message: "m"},
+		{File: "a.go", offset: 50, Analyzer: "aa", Message: "m"},
+		{File: "b.go", offset: 10, Analyzer: "zz", Message: "m"},
+	}
+	for i := range want {
+		if scrambled[i] != want[i] {
+			t.Errorf("position %d: got %+v, want %+v", i, scrambled[i], want[i])
+		}
+	}
+}
+
+// TestRunReportsAndExitCodes drives the real CLI over a small clean
+// package: exit 0, empty text output, and well-formed JSON and SARIF
+// artifacts (stable top-level shape, rules present, zero results).
+func TestRunReportsAndExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "lint.json")
+	sarifPath := filepath.Join(dir, "lint.sarif")
+
+	var stdout, stderr bytes.Buffer
+	code := Run([]string{"-json", jsonPath, "-sarif", sarifPath, "./internal/pool"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stdout=%s stderr=%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced text findings:\n%s", stdout.String())
+	}
+
+	var report struct {
+		Tool      string `json:"tool"`
+		Analyzers []struct {
+			Name string `json:"name"`
+		} `json:"analyzers"`
+		Findings []finding `json:"findings"`
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if report.Tool != "asrank-lint" || len(report.Analyzers) < 9 {
+		t.Errorf("unexpected JSON report header: tool=%q analyzers=%d", report.Tool, len(report.Analyzers))
+	}
+	if report.Findings == nil || len(report.Findings) != 0 {
+		t.Errorf("expected empty (non-null) findings array, got %v", report.Findings)
+	}
+
+	var sarif struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	data, err = os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sarif); err != nil {
+		t.Fatalf("SARIF report does not parse: %v", err)
+	}
+	if sarif.Version != "2.1.0" || len(sarif.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version=%q runs=%d", sarif.Version, len(sarif.Runs))
+	}
+	run := sarif.Runs[0]
+	if run.Tool.Driver.Name != "asrank-lint" || len(run.Tool.Driver.Rules) < 10 {
+		t.Errorf("SARIF driver: name=%q rules=%d", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 0 {
+		t.Errorf("clean run produced %d SARIF results", len(run.Results))
+	}
+}
+
+// TestRunUnknownAnalyzer pins the exit-code contract's failure leg.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Run([]string{"-only", "nosuch", "./internal/pool"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

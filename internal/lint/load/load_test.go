@@ -1,6 +1,7 @@
 package load
 
 import (
+	"go/types"
 	"path/filepath"
 	"testing"
 )
@@ -75,5 +76,109 @@ func TestLoadSinglePattern(t *testing.T) {
 	}
 	if !foundTest {
 		t.Error("pool_test.go not included in load")
+	}
+}
+
+// TestLoadGenerics proves the offline importer type-checks
+// type-parameterized code: union constraints, generic methods, and
+// inferred/explicit/nested instantiations all land with full Info.
+func TestLoadGenerics(t *testing.T) {
+	l := NewFromRoots("testdata/src")
+	pkgs, err := l.Load("generics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected 1 package, got %d", len(pkgs))
+	}
+	pkg := pkgs[0]
+	scope := pkg.Types.Scope()
+	for _, name := range []string{"Sum", "Pair", "Keys", "SumInt", "NestedMap"} {
+		if scope.Lookup(name) == nil {
+			t.Errorf("generics.%s not in package scope", name)
+		}
+	}
+	// The inferred instantiation must have a concrete, non-generic type.
+	if got := scope.Lookup("SumInt").Type().String(); got != "int" {
+		t.Errorf("SumInt type = %s, want int", got)
+	}
+	if pkg.Info == nil || len(pkg.Info.Defs) == 0 {
+		t.Error("generics load carried no type info")
+	}
+}
+
+// TestLoadBuildTags proves tag-based file selection under the loader's
+// CgoEnabled=false context: the //go:build cgo twin declares a
+// conflicting Impl, so a clean load with Impl == "pure" is proof the
+// tagged file was excluded rather than merely tolerated.
+func TestLoadBuildTags(t *testing.T) {
+	l := NewFromRoots("testdata/src")
+	pkgs, err := l.Load("buildtags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected 1 package, got %d", len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, f := range pkg.Files {
+		if filepath.Base(l.Fset().File(f.Pos()).Name()) == "cgoimpl.go" {
+			t.Error("cgo-tagged file selected despite CgoEnabled=false")
+		}
+	}
+	impl := pkg.Types.Scope().Lookup("Impl")
+	if impl == nil {
+		t.Fatal("buildtags.Impl not loaded")
+	}
+	c, ok := impl.(*types.Const)
+	if !ok || c.Val().String() != `"pure"` {
+		t.Errorf("Impl = %v, want the pure-Go declaration", impl)
+	}
+}
+
+// TestPreparseMatchesSequentialLoad proves the concurrent parse
+// fan-out is an optimization, not a semantic change: Expand → Preparse
+// → Load yields the same package set, file lists, and scopes as a
+// plain sequential Load.
+func TestPreparseMatchesSequentialLoad(t *testing.T) {
+	root := moduleRoot(t)
+	seq, err := New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqPkgs, err := seq.Load("./internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par, err := New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := par.Expand("./internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Preparse(paths, 4)
+	parPkgs, err := par.Load(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(parPkgs) != len(seqPkgs) {
+		t.Fatalf("package count: preparse %d, sequential %d", len(parPkgs), len(seqPkgs))
+	}
+	for i := range seqPkgs {
+		if parPkgs[i].Path != seqPkgs[i].Path {
+			t.Errorf("package %d: %s != %s", i, parPkgs[i].Path, seqPkgs[i].Path)
+			continue
+		}
+		if len(parPkgs[i].Files) != len(seqPkgs[i].Files) {
+			t.Errorf("%s: file count %d != %d", parPkgs[i].Path,
+				len(parPkgs[i].Files), len(seqPkgs[i].Files))
+		}
+		if parPkgs[i].Types.Scope().Len() != seqPkgs[i].Types.Scope().Len() {
+			t.Errorf("%s: scope size differs between preparsed and sequential load", parPkgs[i].Path)
+		}
 	}
 }

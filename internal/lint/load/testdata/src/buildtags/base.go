@@ -1,0 +1,8 @@
+// Golden input for the loader's build-tag coverage. The loader runs
+// with CgoEnabled=false, so the cgo-tagged sibling must be excluded —
+// if it were included, its duplicate Impl declaration would be a type
+// error, making tag selection observable as a clean load.
+package buildtags
+
+// Base is declared unconditionally.
+const Base = "base"

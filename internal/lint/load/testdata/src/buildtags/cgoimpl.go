@@ -1,0 +1,7 @@
+//go:build cgo
+
+package buildtags
+
+// Impl duplicates the pure.go declaration on purpose: this file must
+// be dropped by the CgoEnabled=false file selection.
+const Impl = "cgo"

@@ -1,0 +1,7 @@
+//go:build !cgo
+
+package buildtags
+
+// Impl is the pure-Go declaration; its cgo twin declares the same
+// name, so exactly one may be selected.
+const Impl = "pure"

@@ -1,0 +1,43 @@
+// Golden input for the loader's generics coverage: type parameters,
+// union-element constraints, generic methods, and instantiation at
+// every position the repo's own code uses them.
+package generics
+
+// Number is a union constraint with approximation elements.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+// Sum exercises constraint-based operators over a type parameter.
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Pair exercises multi-parameter generic types and methods on them.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+func (p Pair[K, V]) Swap() (V, K) { return p.Val, p.Key }
+
+// Keys exercises generic instantiation from map types.
+func Keys[K comparable, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Instantiations: inferred, explicit, and nested.
+var (
+	SumInt    = Sum([]int{1, 2, 3})
+	SumFloat  = Sum[float64]([]float64{1.5})
+	PairValue = Pair[string, int]{Key: "a", Val: 1}
+	NestedMap = Keys(map[Pair[string, int]]bool{})
+)

@@ -98,28 +98,46 @@ type entry struct {
 // All methods are safe for concurrent use; Commit serializes against
 // event ingestion.
 type Engine struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// opts is immutable after New and deliberately NOT guarded:
+	// Announce reads opts.IXPASes before taking the lock.
 	opts Options
 
-	ix        *core.CorpusIndex
-	rib       map[ribKey]*entry // nil value: announced but dropped by sanitize
-	entries   map[entryKey]*entry
+	//asrank:guardedby mu
+	ix *core.CorpusIndex
+	//asrank:guardedby mu
+	rib map[ribKey]*entry // nil value: announced but dropped by sanitize
+	//asrank:guardedby mu
+	entries map[entryKey]*entry
+	//asrank:guardedby mu
 	linkIndex map[paths.Link]map[*entry]struct{} // kept entries by adjacency
 
-	pc       *cone.PairCounts
-	pfxRef   map[pfxKey]int
+	//asrank:guardedby mu
+	pc *cone.PairCounts
+	//asrank:guardedby mu
+	pfxRef map[pfxKey]int
+	//asrank:guardedby mu
 	pfxCount map[uint32]int
 
 	// Last committed epoch state.
-	clique    []uint32
+
+	//asrank:guardedby mu
+	clique []uint32
+	//asrank:guardedby mu
 	cliqueSet map[uint32]bool
-	rels      map[paths.Link]topology.Relationship
-	prevIdx   *asindex.Index
-	prevSlab  []uint64
+	//asrank:guardedby mu
+	rels map[paths.Link]topology.Relationship
+	//asrank:guardedby mu
+	prevIdx *asindex.Index
+	//asrank:guardedby mu
+	prevSlab []uint64
 
+	//asrank:guardedby mu
 	pendingCredit map[*entry]struct{} // kept entries not yet credited
-	uncredit      []paths.Path        // ex-credited paths to remove under the old relationships
+	//asrank:guardedby mu
+	uncredit []paths.Path // ex-credited paths to remove under the old relationships
 
+	//asrank:guardedby mu
 	stats Stats
 }
 

@@ -74,10 +74,13 @@ type Store struct {
 	metrics *Metrics
 	tracer  *trace.Tracer
 
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	//asrank:guardedby mu
 	epochs []EpochInfo
-	last   *Snapshot // latest epoch, decoded — the delta base for the next Append
-	hist   *History
+	//asrank:guardedby mu
+	last *Snapshot // latest epoch, decoded — the delta base for the next Append
+	//asrank:guardedby mu
+	hist *History
 }
 
 // Open opens (or creates) a warehouse at dir and validates every epoch
