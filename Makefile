@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint lint-report bench bench-api bench-store bench-stream metrics-lint fuzz-smoke trace-demo
+.PHONY: build test check lint lint-report bench bench-api bench-store bench-stream bench-drift metrics-lint fuzz-smoke trace-demo
 
 build:
 	$(GO) build ./...
@@ -81,14 +81,38 @@ bench-store:
 BENCH_STREAM_EPOCHS ?= 12
 BENCH_STREAM_SCALE ?= 2000
 BENCH_STREAM_CHURN ?= 0.01
+# When set, streambench also writes the per-epoch commit provenance
+# (the /debug/epochs shape) to this path — the CI artifact that answers
+# "which phase got slower" when the drift guard fires.
+BENCH_STREAM_EPOCHS_OUT ?=
 
 bench-stream:
 	mkdir -p $(BENCHDIR)/bin
 	$(GO) build -o $(BENCHDIR)/bin/ ./cmd/streambench
 	$(BENCHDIR)/bin/streambench -epochs $(BENCH_STREAM_EPOCHS) \
 		-scale $(BENCH_STREAM_SCALE) -churn $(BENCH_STREAM_CHURN) \
-		-vps 12 -seed 42 -out BENCH_stream.json
+		-vps 12 -seed 42 -out BENCH_stream.json \
+		$(if $(BENCH_STREAM_EPOCHS_OUT),-epochs-out $(BENCH_STREAM_EPOCHS_OUT),)
 	@echo "report in BENCH_stream.json"
+
+# Benchmark drift guard: save the committed reference reports aside,
+# re-run the API and streaming benchmarks at their structural defaults
+# (BENCH_DURATION may shorten the API run — reqPerSec is a rate, so
+# short runs stay comparable), and fail if either throughput metric
+# regressed past BENCH_DRIFT_TOLERANCE. The streaming run also leaves
+# the per-epoch provenance artifact in $(BENCHDIR)/stream-epochs.json.
+BENCH_DRIFT_TOLERANCE ?= 0.25
+
+bench-drift:
+	mkdir -p $(BENCHDIR)
+	cp BENCH_api.json $(BENCHDIR)/ref_api.json
+	cp BENCH_stream.json $(BENCHDIR)/ref_stream.json
+	$(MAKE) bench-api
+	$(MAKE) bench-stream BENCH_STREAM_EPOCHS_OUT=$(BENCHDIR)/stream-epochs.json
+	$(GO) run ./cmd/benchdrift -ref $(BENCHDIR)/ref_api.json \
+		-fresh BENCH_api.json -metric reqPerSec -tolerance $(BENCH_DRIFT_TOLERANCE)
+	$(GO) run ./cmd/benchdrift -ref $(BENCHDIR)/ref_stream.json \
+		-fresh BENCH_stream.json -metric epochsPerSec -tolerance $(BENCH_DRIFT_TOLERANCE)
 
 # Standalone exposition-format gate: the strict Prometheus text-format
 # checks on obs itself plus the end-to-end /metrics surface.

@@ -21,6 +21,13 @@
 //	curl http://127.0.0.1:8080/api/v1/asns/3356/history
 //	curl 'http://127.0.0.1:8080/api/v1/diff?from=0&to=2'
 //
+// The API listener always carries the health plane:
+//
+//	curl http://127.0.0.1:8080/healthz   # liveness: 200 while the process runs
+//	curl http://127.0.0.1:8080/readyz    # readiness: 503 until the first
+//	                                     # snapshot, 503 again while degraded
+//	                                     # (SLO burn, shed queue backlog)
+//
 // With -debug-listen, a second listener serves operational surfaces:
 //
 //	asrankd -paths paths.txt -debug-listen 127.0.0.1:6060
@@ -28,12 +35,20 @@
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
 //	curl http://127.0.0.1:6060/debug/trace?sec=10 > trace.json   # live span capture
 //	curl http://127.0.0.1:6060/debug/flight > flight.json        # flight-recorder dump
+//	curl http://127.0.0.1:6060/debug/oplog?n=50   # recent structured events (NDJSON)
+//	curl http://127.0.0.1:6060/debug/epochs       # per-epoch commit provenance (streaming mode)
 //
 // Trace JSON loads directly in Perfetto (ui.perfetto.dev) or
 // chrome://tracing; append &format=tree for a terminal-readable view.
 // API requests record spans into the flight recorder whenever
 // -debug-listen is set, so a slow request from minutes ago is still
-// explainable from /debug/flight.
+// explainable from /debug/flight — and latency histogram buckets on
+// /metrics carry OpenMetrics exemplars naming the trace that landed in
+// them, so an outlier bucket links straight to its span tree.
+//
+// Every operational moment (ingest, epoch publish, health transitions,
+// drain) is also a structured journal event; -oplog appends them as
+// NDJSON to a file for post-mortems that outlive the in-memory ring.
 //
 // With -stream-listen, asrankd runs a live BGP collector and the
 // incremental inference engine instead of (or alongside) batch
@@ -42,21 +57,28 @@
 // -epoch-interval the engine commits a converged epoch — proven
 // bit-identical to a batch re-run by internal/streamtest — that is
 // appended to the warehouse (when configured) and hot-swapped into the
-// serving snapshot atomically:
+// serving snapshot atomically. Each commit's provenance record (the
+// rebuild-vs-incremental decision, dirty counts, phase timings, the
+// update-to-serve watermark) is journaled, annotated onto the
+// warehouse manifest entry, and served on /debug/epochs:
 //
 //	asrankd -stream-listen 127.0.0.1:1790 -epoch-interval 5s -warehouse ./wh
 //	bgpsim -topo topo.txt -vps 8 -seed 42 -replay 127.0.0.1:1790
 //	curl http://127.0.0.1:8080/api/v1/health     # etag advances per epoch
 //
 // SIGINT/SIGTERM drain in-flight requests via http.Server.Shutdown
-// before exiting.
+// before exiting; the debug listener's streaming handlers (a live
+// /debug/trace capture, say) are cancelled rather than waited out, so
+// a watching client never holds the drain hostage.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -69,11 +91,17 @@ import (
 	"github.com/asrank-go/asrank/internal/collector"
 	"github.com/asrank-go/asrank/internal/core"
 	"github.com/asrank-go/asrank/internal/obs"
+	"github.com/asrank-go/asrank/internal/oplog"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/stream"
 	"github.com/asrank-go/asrank/internal/trace"
 	"github.com/asrank-go/asrank/internal/warehouse"
 )
+
+// sloWindows are the burn-rate windows the tracker maintains: the short
+// window trips the degraded check fast, the long one keeps a slower
+// bleed visible after the spike passes.
+var sloWindows = []time.Duration{5 * time.Minute, time.Hour}
 
 func main() {
 	var (
@@ -84,6 +112,7 @@ func main() {
 		debugListen  = flag.String("debug-listen", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
 		workers      = flag.Int("workers", 0, "worker-pool size for parallel pipeline stages (0 = GOMAXPROCS)")
 		drainWait    = flag.Duration("shutdown-timeout", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+		oplogFile    = flag.String("oplog", "", "append structured journal events as NDJSON to this file (off when empty)")
 
 		streamListen  = flag.String("stream-listen", "", "run a live BGP collector on this address and infer incrementally (off when empty)")
 		epochInterval = flag.Duration("epoch-interval", 10*time.Second, "how often the streaming engine commits and publishes an epoch")
@@ -92,6 +121,9 @@ func main() {
 		shedQueue   = flag.Int("shed-queue", 0, "requests allowed to wait for an admission slot (0 = 2x concurrency)")
 		shedTimeout = flag.Duration("shed-timeout", 250*time.Millisecond, "max time a queued request waits before a 503")
 		retryAfter  = flag.Duration("shed-retry-after", time.Second, "Retry-After hint on shed 429/503 responses")
+
+		sloTarget = flag.Float64("slo-target", 0.999, "availability SLO target ratio for the burn-rate gauges and the readiness check")
+		sloBurn   = flag.Float64("slo-burn-threshold", 10, "5m burn rate above which /readyz reports degraded")
 	)
 	flag.Parse()
 
@@ -104,6 +136,29 @@ func main() {
 		tracer = trace.New(trace.Options{})
 	}
 
+	// The journal is the structured successor of the ad-hoc text log:
+	// every event lands in an in-memory ring (/debug/oplog), tees to the
+	// text log for the terminal, and optionally appends NDJSON to -oplog
+	// for post-mortems that outlive the process.
+	var sink *os.File
+	if *oplogFile != "" {
+		var err error
+		sink, err = os.OpenFile(*oplogFile, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("asrankd: %v", err)
+		}
+		defer sink.Close()
+	}
+	journalOpts := oplog.Options{
+		RingSize: 4096,
+		Logf:     log.Printf,
+		Registry: obs.Default(),
+	}
+	if sink != nil {
+		journalOpts.Sink = sink
+	}
+	journal := oplog.New(journalOpts)
+
 	var store *warehouse.Store
 	if *warehouseDir != "" {
 		var err error
@@ -115,7 +170,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("asrankd: %v", err)
 		}
-		log.Printf("asrankd: warehouse %s opened with %d epochs", *warehouseDir, store.Len())
+		journal.Info(context.Background(), "warehouse.open",
+			oplog.String("dir", *warehouseDir),
+			oplog.Int("epochs", int64(store.Len())))
 	}
 
 	// Assemble the epoch sequence to ingest. Without a warehouse, -paths
@@ -131,9 +188,11 @@ func main() {
 		log.Fatal("asrankd: one of -paths, -mrt, -stream-listen, or a non-empty -warehouse is required")
 	}
 
+	metrics := apiserver.NewMetrics(obs.Default())
 	cfg := apiserver.Config{
 		Registry: obs.Default(),
 		Tracer:   tracer,
+		Metrics:  metrics,
 		Shed: apiserver.ShedPolicy{
 			MaxConcurrent: *shedConc,
 			MaxQueue:      *shedQueue,
@@ -143,13 +202,49 @@ func main() {
 	}
 	live := apiserver.NewLive(store, cfg)
 
+	// The health plane: /readyz answers 503 until the first snapshot
+	// swap, then degrades (still 503, different body) when the SLO burn
+	// rate or the shed queue says new traffic should go elsewhere.
+	health := apiserver.NewHealth(journal)
+	slo := obs.NewSLOTracker(obs.Default(), sloWindows, metrics.Objectives(*sloTarget)...)
+	stopPoll := make(chan struct{})
+	defer close(stopPoll)
+	slo.Start(10*time.Second, stopPoll)
+	health.AddCheck("slo_burn", func() (bool, string) {
+		if b := slo.MaxBurn(sloWindows[0]); b > *sloBurn {
+			return false, fmt.Sprintf("%s burn rate %.1f exceeds %.1f", sloWindows[0], b, *sloBurn)
+		}
+		return true, ""
+	})
+	queueCap := *shedQueue
+	if queueCap <= 0 {
+		queueCap = 2 * *shedConc
+	}
+	health.AddCheck("shed_queue", func() (bool, string) {
+		if d := metrics.ShedQueueDepth(); queueCap > 0 && d >= float64(queueCap) {
+			return false, fmt.Sprintf("shed queue depth %.0f at capacity %d", d, queueCap)
+		}
+		return true, ""
+	})
+
+	// publish swaps the serving snapshot and flips readiness on the
+	// first swap — the moment data routes stop answering 503.
+	publish := func(data *apiserver.Data) {
+		live.Swap(data)
+		health.MarkReady()
+	}
+
 	// Serve whatever the store already holds before any inference runs,
 	// so restarts come up instantly on the previous epoch.
 	if store != nil {
 		if snap, info, ok := store.Latest(); ok {
 			data := apiserver.BuildSnapshot(snap)
-			live.Swap(data)
-			log.Printf("asrankd: serving stored epoch %d (%s), etag %s", info.ID, info.Label, data.ETag())
+			publish(data)
+			journal.Info(context.Background(), "snapshot.publish",
+				oplog.String("source", "warehouse"),
+				oplog.String("label", info.Label),
+				oplog.Int("epoch", int64(info.ID)),
+				oplog.String("etag", data.ETag()))
 		}
 	}
 
@@ -163,20 +258,28 @@ func main() {
 		snap := warehouse.FromResult(res)
 		data := apiserver.BuildSnapshot(snap)
 		startSpan.End()
-		log.Printf("asrankd: %s: inferred %d links (clique %v) in %s; snapshot etag %s",
-			label, len(res.Rels), res.Clique, time.Since(start).Round(time.Millisecond), data.ETag())
+		journal.Info(startCtx, "ingest.done",
+			oplog.String("label", label),
+			oplog.Int("links", int64(len(res.Rels))),
+			oplog.Duration("took", time.Since(start)),
+			oplog.String("etag", data.ETag()))
 		if store != nil {
 			if _, last, ok := store.Latest(); ok && last.ETag == data.ETag() {
-				log.Printf("asrankd: %s: unchanged from epoch %d, not appending", label, last.ID)
+				journal.Info(startCtx, "ingest.unchanged",
+					oplog.String("label", label), oplog.Int("epoch", int64(last.ID)))
 			} else {
 				info, err := store.Append(snap, label, data.ETag())
 				if err != nil {
 					log.Fatalf("asrankd: %v", err)
 				}
-				log.Printf("asrankd: %s: appended as epoch %d (%s, %d bytes)", label, info.ID, info.Kind, info.Bytes)
+				journal.Info(startCtx, "warehouse.append",
+					oplog.String("label", label),
+					oplog.Int("epoch", int64(info.ID)),
+					oplog.String("kind", info.Kind),
+					oplog.Int("bytes", info.Bytes))
 			}
 		}
-		live.Swap(data)
+		publish(data)
 	}
 
 	for _, corpus := range corpora {
@@ -208,18 +311,22 @@ func main() {
 	// epochs commit on a timer, publishing exactly like batch ingests —
 	// an ETag-deduplicated warehouse append, then an atomic hot swap of
 	// the serving snapshot. In-flight requests keep the snapshot they
-	// started on; the next request sees the new epoch and ETag.
+	// started on; the next request sees the new epoch and ETag. Each
+	// commit's provenance report is journaled by the engine, pinned to
+	// the warehouse manifest entry, and served on /debug/epochs.
+	var eng *stream.Engine
 	var streamSrv *collector.Server
 	stopStream := make(chan struct{})
 	defer close(stopStream)
 	if *streamListen != "" {
-		eng := stream.New(stream.Options{Workers: *workers})
+		eng = stream.New(stream.Options{Workers: *workers, Journal: journal})
 		var serr error
 		streamSrv, serr = collector.Listen(*streamListen, collector.Options{
 			Routes:   eng,
 			Registry: obs.Default(),
 			Tracer:   tracer,
 			Logf:     log.Printf,
+			Journal:  journal,
 		})
 		if serr != nil {
 			log.Fatalf("asrankd: %v", serr)
@@ -240,9 +347,8 @@ func main() {
 				// empty epoch.
 				return
 			}
-			start := time.Now()
 			ctx, span := tracer.StartSpan(context.Background(), "asrankd.stream_epoch")
-			snap := eng.Commit(ctx)
+			snap, rep := eng.CommitEpoch(ctx)
 			data := apiserver.BuildSnapshot(snap)
 			span.End()
 			if data.ETag() == lastETag {
@@ -251,17 +357,28 @@ func main() {
 			epoch++
 			label := fmt.Sprintf("stream-%d", epoch)
 			if store != nil {
-				info, err := store.Append(snap, label, data.ETag())
+				note, merr := json.Marshal(rep)
+				if merr != nil {
+					note = nil
+				}
+				info, err := store.AppendNote(snap, label, data.ETag(), note)
 				if err != nil {
 					log.Fatalf("asrankd: %v", err)
 				}
-				log.Printf("asrankd: %s: appended as epoch %d (%s, %d bytes)", label, info.ID, info.Kind, info.Bytes)
+				journal.Info(ctx, "warehouse.append",
+					oplog.String("label", label),
+					oplog.Int("epoch", int64(info.ID)),
+					oplog.String("kind", info.Kind),
+					oplog.Int("bytes", info.Bytes))
 			}
-			live.Swap(data)
+			publish(data)
 			lastETag = data.ETag()
-			st := eng.Stats()
-			log.Printf("asrankd: %s: %d routes, %d distinct paths, etag %s, committed in %s",
-				label, st.RIBRoutes, st.Entries, data.ETag(), time.Since(start).Round(time.Millisecond))
+			journal.Info(ctx, "snapshot.publish",
+				oplog.String("source", "stream"),
+				oplog.String("label", label),
+				oplog.Int("routes", int64(rep.RIBRoutes)),
+				oplog.Int("entries", int64(rep.Entries)),
+				oplog.String("etag", data.ETag()))
 		}
 		//lint:ignore noderivedgo epoch ticker lives until signal-driven drain, not a bounded fan-out
 		go func() {
@@ -278,9 +395,17 @@ func main() {
 		}()
 	}
 
+	// The health plane rides the API listener (an orchestrator probing
+	// readiness must see the same address it routes traffic to), outside
+	// the Live swap so probes work before the first snapshot.
+	apiMux := http.NewServeMux()
+	apiMux.Handle("GET /healthz", health.Healthz())
+	apiMux.Handle("GET /readyz", health.Readyz())
+	apiMux.Handle("/", live)
+
 	api := &http.Server{
 		Addr:              *listen,
-		Handler:           apiserver.LogRequests(live),
+		Handler:           apiserver.LogRequests(apiMux),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -292,24 +417,11 @@ func main() {
 	// so the debug server sets only ReadHeaderTimeout, never a write
 	// timeout) with user traffic.
 	var debug *http.Server
-	stopPoll := make(chan struct{})
-	defer close(stopPoll)
+	var debugCancel context.CancelFunc
 	if *debugListen != "" {
 		obs.NewRuntimeMetrics(obs.Default()).Start(0, stopPoll)
-		dmux := http.NewServeMux()
-		dmux.Handle("GET /metrics", obs.Default().Handler())
-		dmux.HandleFunc("/debug/pprof/", pprof.Index)
-		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		dmux.Handle("GET /debug/trace", trace.CaptureHandler(tracer))
-		dmux.Handle("GET /debug/flight", trace.FlightHandler(tracer))
-		debug = &http.Server{
-			Addr:              *debugListen,
-			Handler:           dmux,
-			ReadHeaderTimeout: 5 * time.Second,
-		}
+		debug, debugCancel = debugServer(*debugListen, tracer, journal, eng)
+		defer debugCancel()
 		//lint:ignore noderivedgo debug listener lives for the process lifetime, not a bounded fan-out
 		go func() {
 			log.Printf("asrankd: debug surface on http://%s/metrics", *debugListen)
@@ -336,19 +448,60 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
-		log.Printf("asrankd: signal received, draining for up to %s", *drainWait)
+		drainStart := time.Now()
+		journal.Info(context.Background(), "drain.begin",
+			oplog.Int("in_flight", int64(metrics.InFlight())),
+			oplog.Duration("timeout", *drainWait))
 		if streamSrv != nil {
 			streamSrv.Close()
 		}
 		sctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := api.Shutdown(sctx); err != nil {
-			log.Printf("asrankd: shutdown: %v", err)
+			journal.Warn(context.Background(), "drain.forced",
+				oplog.String("error", err.Error()),
+				oplog.Int("in_flight", int64(metrics.InFlight())))
 			api.Close()
 		}
 		if debug != nil {
+			// Cancel the debug BaseContext first: streaming handlers
+			// (/debug/trace mid-capture) end at the next context check
+			// instead of running out their full capture window.
+			debugCancel()
 			debug.Shutdown(sctx)
 		}
-		log.Printf("asrankd: bye")
+		journal.Info(context.Background(), "drain.done",
+			oplog.Int("in_flight", int64(metrics.InFlight())),
+			oplog.Duration("took", time.Since(drainStart)))
 	}
+}
+
+// debugServer assembles the debug-surface HTTP server: metrics, pprof,
+// live trace capture, flight recorder, the structured event journal,
+// and (when the streaming engine runs) the epoch provenance timeline.
+// The returned cancel func cancels every in-flight request's context —
+// call it before Shutdown so streaming handlers (a 60s /debug/trace
+// capture, say) end promptly instead of holding the drain hostage.
+func debugServer(addr string, tracer *trace.Tracer, journal *oplog.Journal, eng *stream.Engine) (*http.Server, context.CancelFunc) {
+	dmux := http.NewServeMux()
+	dmux.Handle("GET /metrics", obs.Default().Handler())
+	dmux.HandleFunc("/debug/pprof/", pprof.Index)
+	dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	dmux.Handle("GET /debug/trace", trace.CaptureHandler(tracer))
+	dmux.Handle("GET /debug/flight", trace.FlightHandler(tracer))
+	dmux.Handle("GET /debug/oplog", oplog.Handler(journal))
+	if eng != nil {
+		dmux.Handle("GET /debug/epochs", stream.EpochsHandler(eng))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           dmux,
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	return srv, cancel
 }

@@ -1,0 +1,91 @@
+// Command benchdrift is the benchmark drift guard: it compares one
+// throughput metric in a freshly produced benchmark report against the
+// committed reference report and exits non-zero when the fresh run has
+// regressed by more than the tolerance. Improvements always pass — the
+// guard is a floor, not a pin.
+//
+// Usage:
+//
+//	benchdrift -ref ref_api.json -fresh BENCH_api.json -metric reqPerSec -tolerance 0.25
+//	benchdrift -ref ref_stream.json -fresh BENCH_stream.json -metric epochsPerSec
+//
+// The metric is a dot-separated path into the report JSON (e.g.
+// latencyMillis.p99 — though latency metrics would need the inverse
+// sense, so the guard is for rate metrics where bigger is better).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		ref       = flag.String("ref", "", "committed reference report (JSON)")
+		fresh     = flag.String("fresh", "", "freshly produced report (JSON)")
+		metric    = flag.String("metric", "", "dot-separated path to the rate metric (bigger is better)")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional regression before failing (0.25 = fresh may be up to 25% below reference)")
+	)
+	flag.Parse()
+	if *ref == "" || *fresh == "" || *metric == "" {
+		log.Fatal("benchdrift: -ref, -fresh, and -metric are all required")
+	}
+	if *tolerance < 0 || *tolerance >= 1 {
+		log.Fatalf("benchdrift: tolerance %g out of range [0,1)", *tolerance)
+	}
+
+	refV, err := readMetric(*ref, *metric)
+	if err != nil {
+		log.Fatalf("benchdrift: %v", err)
+	}
+	freshV, err := readMetric(*fresh, *metric)
+	if err != nil {
+		log.Fatalf("benchdrift: %v", err)
+	}
+	if refV <= 0 {
+		log.Fatalf("benchdrift: reference %s is %g; a non-positive reference cannot gate anything", *metric, refV)
+	}
+
+	floor := refV * (1 - *tolerance)
+	change := (freshV - refV) / refV * 100
+	if freshV < floor {
+		fmt.Fprintf(os.Stderr, "benchdrift: FAIL %s: fresh %.3f vs reference %.3f (%+.1f%%), below the -%.0f%% floor %.3f\n",
+			*metric, freshV, refV, change, *tolerance*100, floor)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdrift: ok %s: fresh %.3f vs reference %.3f (%+.1f%%, floor %.3f)\n",
+		*metric, freshV, refV, change, floor)
+}
+
+// readMetric loads a report and resolves the dot-separated path to a
+// number.
+func readMetric(path, metric string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("parse %s: %w", path, err)
+	}
+	cur := doc
+	for _, seg := range strings.Split(metric, ".") {
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("%s: %q does not resolve (hit a non-object)", path, metric)
+		}
+		cur, ok = obj[seg]
+		if !ok {
+			return 0, fmt.Errorf("%s: no field %q on the path %q", path, seg, metric)
+		}
+	}
+	v, ok := cur.(float64)
+	if !ok {
+		return 0, fmt.Errorf("%s: %q is %T, not a number", path, metric, cur)
+	}
+	return v, nil
+}

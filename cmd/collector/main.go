@@ -35,6 +35,7 @@ import (
 
 	"github.com/asrank-go/asrank/internal/collector"
 	"github.com/asrank-go/asrank/internal/obs"
+	"github.com/asrank-go/asrank/internal/oplog"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/trace"
 )
@@ -64,6 +65,16 @@ func main() {
 		tracer = trace.New(trace.Options{})
 	}
 
+	// The journal keeps a ring of structured lifecycle events (served on
+	// /debug/oplog when the debug surface is up) and tees each one to
+	// the text log, replacing nothing but duplicating nothing either:
+	// collector-internal sites emit through the journal, not log.Printf.
+	journal := oplog.New(oplog.Options{
+		RingSize: 1024,
+		Logf:     log.Printf,
+		Registry: obs.Default(),
+	})
+
 	var arch io.Writer
 	if *archive != "" {
 		f, err := os.Create(*archive)
@@ -80,6 +91,7 @@ func main() {
 		Malformed: policy,
 		Logf:      log.Printf,
 		Tracer:    tracer,
+		Journal:   journal,
 	})
 	if err != nil {
 		log.Fatalf("collector: %v", err)
@@ -103,6 +115,7 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("GET /debug/trace", trace.CaptureHandler(tracer))
 		dmux.Handle("GET /debug/flight", trace.FlightHandler(tracer))
+		dmux.Handle("GET /debug/oplog", oplog.Handler(journal))
 		debug = &http.Server{
 			Addr:              *debugListen,
 			Handler:           dmux,

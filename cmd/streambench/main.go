@@ -76,13 +76,14 @@ type latencyMillis struct {
 
 func main() {
 	var (
-		scale   = flag.Int("scale", 2000, "topology size (ASes)")
-		vps     = flag.Int("vps", 12, "vantage points")
-		seed    = flag.Int64("seed", 42, "deterministic seed")
-		epochs  = flag.Int("epochs", 12, "churn epochs to measure (after the bootstrap epoch)")
-		churn   = flag.Float64("churn", 0.01, "per-epoch churn as a fraction of the base route table")
-		workers = flag.Int("workers", 0, "inference workers (<= 0 selects GOMAXPROCS)")
-		out     = flag.String("out", "BENCH_stream.json", "report output path")
+		scale     = flag.Int("scale", 2000, "topology size (ASes)")
+		vps       = flag.Int("vps", 12, "vantage points")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
+		epochs    = flag.Int("epochs", 12, "churn epochs to measure (after the bootstrap epoch)")
+		churn     = flag.Float64("churn", 0.01, "per-epoch churn as a fraction of the base route table")
+		workers   = flag.Int("workers", 0, "inference workers (<= 0 selects GOMAXPROCS)")
+		out       = flag.String("out", "BENCH_stream.json", "report output path")
+		epochsOut = flag.String("epochs-out", "", "also write the engine's per-epoch commit provenance (the /debug/epochs shape) to this path")
 	)
 	flag.Parse()
 
@@ -165,6 +166,23 @@ func main() {
 	rep.IncrementalLatencyMillis = quantiles(incSamples)
 	rep.BatchLatencyMillis = quantiles(batchSamples)
 	rep.Stats = eng.Stats()
+
+	// The provenance artifact: exactly what a live asrankd would serve
+	// on /debug/epochs after the same run — per-epoch decisions, dirty
+	// counts, and phase timings for the benchmark's commits.
+	if *epochsOut != "" {
+		eraw, err := json.MarshalIndent(struct {
+			Reports []stream.CommitReport `json:"reports"`
+		}{Reports: eng.Reports()}, "", "  ")
+		if err != nil {
+			log.Fatalf("streambench: encode epochs: %v", err)
+		}
+		eraw = append(eraw, '\n')
+		if err := os.WriteFile(*epochsOut, eraw, 0o644); err != nil {
+			log.Fatalf("streambench: write %s: %v", *epochsOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "streambench: wrote %d commit reports to %s\n", len(eng.Reports()), *epochsOut)
+	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -68,6 +68,12 @@ type Config struct {
 	// Shed is the per-route admission policy; the zero value disables
 	// shedding (use DefaultShedPolicy for production limits).
 	Shed ShedPolicy
+	// Metrics, when non-nil, is the metric handle every built handler
+	// records into — inject it to read the SLO counters and in-flight
+	// gauge from outside (health checks, drain loops). Nil binds a
+	// handle to Registry on each build; the underlying families are the
+	// same either way.
+	Metrics *Metrics
 }
 
 // NewHandler returns the API's HTTP handler, instrumented into the
@@ -106,7 +112,10 @@ func NewServerWithStore(d *Data, st *warehouse.Store, cfg Config) http.Handler {
 	if reg == nil {
 		reg = obs.Default()
 	}
-	m := NewMetrics(reg)
+	m := cfg.Metrics
+	if m == nil {
+		m = NewMetrics(reg)
+	}
 	mux := http.NewServeMux()
 	handle := func(route string, policy ShedPolicy, h http.HandlerFunc) {
 		mux.Handle("GET "+route,

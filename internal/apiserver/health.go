@@ -1,0 +1,148 @@
+package apiserver
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"github.com/asrank-go/asrank/internal/oplog"
+)
+
+// Health is the serving-state plane behind /healthz and /readyz. The
+// two endpoints answer different questions on purpose: /healthz is
+// liveness — "is the process running" — and returns 200 for as long as
+// the handler executes at all, so an orchestrator restarts only a hung
+// or dead process. /readyz is readiness — "should this replica receive
+// traffic" — and moves through three states:
+//
+//	unready   before MarkReady: the first snapshot has not been swapped
+//	          in, so every data route would 404 or serve garbage.
+//	ready     MarkReady called and every registered check passes.
+//	degraded  MarkReady called but a check fails (SLO burn too high,
+//	          shed queue backed up): the replica still serves, but a
+//	          balancer should prefer healthier peers.
+//
+// Both unready and degraded answer 503 (traffic should go elsewhere);
+// the JSON body distinguishes them. State transitions are journaled,
+// so "when did this replica degrade and why" is an oplog query.
+type Health struct {
+	journal *oplog.Journal
+
+	readyMark atomic.Bool
+
+	mu sync.Mutex
+	//asrank:guardedby mu
+	checks []healthCheck
+	//asrank:guardedby mu
+	lastState string
+}
+
+// healthCheck is one registered readiness probe.
+type healthCheck struct {
+	name  string
+	probe func() (ok bool, detail string)
+}
+
+// Health states as reported by State and the /readyz body.
+const (
+	StateUnready  = "unready"
+	StateReady    = "ready"
+	StateDegraded = "degraded"
+)
+
+// NewHealth builds a health plane in the unready state. journal may be
+// nil (state transitions then go unrecorded).
+func NewHealth(journal *oplog.Journal) *Health {
+	return &Health{journal: journal, lastState: StateUnready}
+}
+
+// MarkReady records that the replica can serve — called once the first
+// snapshot has been swapped in. It is sticky: readiness never reverts
+// to unready (a failing check reports degraded instead).
+func (h *Health) MarkReady() {
+	h.readyMark.Store(true)
+}
+
+// AddCheck registers a named readiness probe, evaluated on every
+// /readyz request and State call once MarkReady has fired. ok=false
+// degrades the replica; detail says why.
+func (h *Health) AddCheck(name string, probe func() (ok bool, detail string)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks = append(h.checks, healthCheck{name: name, probe: probe})
+}
+
+// checkResult is one probe's outcome in the /readyz body.
+type checkResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// State evaluates the current readiness state and returns it with the
+// per-check outcomes. A state change since the previous evaluation is
+// journaled.
+func (h *Health) State() (string, []checkResult) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	state := StateUnready
+	var results []checkResult
+	if h.readyMark.Load() {
+		state = StateReady
+		for _, c := range h.checks {
+			ok, detail := c.probe()
+			results = append(results, checkResult{Name: c.name, OK: ok, Detail: detail})
+			if !ok {
+				state = StateDegraded
+			}
+		}
+	}
+
+	if state != h.lastState {
+		attrs := []oplog.Attr{
+			oplog.String("from", h.lastState),
+			oplog.String("to", state),
+		}
+		for _, r := range results {
+			if !r.OK {
+				attrs = append(attrs, oplog.String("failed_check", r.Name))
+			}
+		}
+		if state == StateDegraded {
+			h.journal.Warn(context.Background(), "health.state", attrs...)
+		} else {
+			h.journal.Info(context.Background(), "health.state", attrs...)
+		}
+		h.lastState = state
+	}
+	return state, results
+}
+
+// Healthz is the liveness endpoint: 200 whenever the process can run a
+// handler at all.
+func (h *Health) Healthz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+}
+
+// Readyz is the readiness endpoint: 200 with {"status":"ready"} when
+// the replica should receive traffic, 503 with the state and failing
+// checks otherwise.
+func (h *Health) Readyz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		state, results := h.State()
+		w.Header().Set("Content-Type", "application/json")
+		if state != StateReady {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(struct {
+			Status string        `json:"status"`
+			Checks []checkResult `json:"checks,omitempty"`
+		}{Status: state, Checks: results})
+	})
+}

@@ -1,0 +1,118 @@
+package apiserver
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/asrank-go/asrank/internal/oplog"
+)
+
+// readyzState hits /readyz and returns the HTTP status plus the parsed
+// body status string.
+func readyzState(t *testing.T, h *Health) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.Readyz().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("readyz body %q: %v", rec.Body.String(), err)
+	}
+	return rec.Code, body.Status
+}
+
+// TestHealthStateMachine walks the full lifecycle — unready before the
+// first snapshot, ready after MarkReady, degraded while a check fails,
+// ready again on recovery — and asserts each transition is journaled
+// exactly once.
+func TestHealthStateMachine(t *testing.T) {
+	journal := oplog.New(oplog.Options{RingSize: 32})
+	h := NewHealth(journal)
+	failing := false
+	h.AddCheck("burn", func() (bool, string) {
+		if failing {
+			return false, "burn rate 14.2 over budget"
+		}
+		return true, ""
+	})
+
+	if code, status := readyzState(t, h); code != 503 || status != StateUnready {
+		t.Fatalf("before MarkReady: %d %q", code, status)
+	}
+	h.MarkReady()
+	if code, status := readyzState(t, h); code != 200 || status != StateReady {
+		t.Fatalf("after MarkReady: %d %q", code, status)
+	}
+	failing = true
+	if code, status := readyzState(t, h); code != 503 || status != StateDegraded {
+		t.Fatalf("with failing check: %d %q", code, status)
+	}
+	// Degraded is not sticky: recovery re-admits the replica.
+	failing = false
+	if code, status := readyzState(t, h); code != 200 || status != StateReady {
+		t.Fatalf("after recovery: %d %q", code, status)
+	}
+
+	// Liveness never wavered through any of it.
+	rec := httptest.NewRecorder()
+	h.Healthz().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+
+	var transitions []string
+	for _, ev := range journal.Recent() {
+		if ev.Name != "health.state" {
+			continue
+		}
+		var from, to string
+		for _, a := range ev.Attrs {
+			switch a.Key {
+			case "from":
+				from = a.Str
+			case "to":
+				to = a.Str
+			}
+		}
+		transitions = append(transitions, from+">"+to)
+	}
+	want := []string{"unready>ready", "ready>degraded", "degraded>ready"}
+	if len(transitions) != len(want) {
+		t.Fatalf("journaled transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %q, want %q", i, transitions[i], want[i])
+		}
+	}
+}
+
+// TestHealthDegradedNamesCheck asserts the /readyz body carries the
+// failing check's name and detail — the operator's first clue.
+func TestHealthDegradedNamesCheck(t *testing.T) {
+	h := NewHealth(nil)
+	h.MarkReady()
+	h.AddCheck("queue", func() (bool, string) { return false, "depth 9" })
+	h.AddCheck("burn", func() (bool, string) { return true, "" })
+
+	rec := httptest.NewRecorder()
+	h.Readyz().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	var body struct {
+		Status string        `json:"status"`
+		Checks []checkResult `json:"checks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != StateDegraded || len(body.Checks) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+	if body.Checks[0].Name != "queue" || body.Checks[0].OK || body.Checks[0].Detail != "depth 9" {
+		t.Errorf("failing check = %+v", body.Checks[0])
+	}
+	if body.Checks[1].Name != "burn" || !body.Checks[1].OK {
+		t.Errorf("passing check = %+v", body.Checks[1])
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/asrank-go/asrank/internal/obs"
+	"github.com/asrank-go/asrank/internal/trace"
 )
 
 // Metrics records per-route HTTP telemetry: request counts and latency
@@ -19,6 +20,11 @@ type Metrics struct {
 	inFlight  *obs.Gauge
 	shed      *obs.CounterVec // route, reason
 	shedQueue *obs.GaugeVec   // route
+	// SLO event counters: every wrapped response counts toward
+	// sloTotal; server faults (5xx) and shed rejections (429) count
+	// toward sloErrors. The availability objective reads both.
+	sloTotal  *obs.Counter
+	sloErrors *obs.Counter
 }
 
 // writeFailures counts response writes the client never received
@@ -43,6 +49,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"route", "reason"),
 		shedQueue: reg.GaugeVec("asrank_http_shed_queue_depth",
 			"Requests waiting for an admission slot, by route pattern.", "route"),
+		sloTotal: reg.Counter("asrank_slo_requests_total",
+			"Responses counted toward the availability SLO."),
+		sloErrors: reg.Counter("asrank_slo_request_errors_total",
+			"SLO-burning responses: server faults (5xx) and shed rejections (429)."),
 	}
 }
 
@@ -59,8 +69,53 @@ func (m *Metrics) Wrap(route string, next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r)
 		class := statusClass(sw.Status())
 		m.requests.With(route, class).Inc()
-		m.latency.With(route, class).ObserveSince(t0)
+		hist := m.latency.With(route, class)
+		// When the request ran under a trace span, stamp the latency
+		// bucket with its trace ID — the exemplar a scraper follows from
+		// a histogram outlier straight into the flight recorder.
+		if span := trace.FromContext(r.Context()); span != nil && span.Trace.IsValid() {
+			hist.ObserveExemplar(time.Since(t0).Seconds(), span.Trace.String())
+		} else {
+			hist.ObserveSince(t0)
+		}
+		m.sloTotal.Inc()
+		if code := sw.Status(); code >= 500 || code == http.StatusTooManyRequests {
+			m.sloErrors.Inc()
+		}
 	})
+}
+
+// Objectives returns the declarative SLO set backed by these metrics —
+// today a single availability objective (non-error responses over all
+// responses) at the given target ratio. Pass the result to
+// obs.NewSLOTracker.
+func (m *Metrics) Objectives(target float64) []obs.Objective {
+	return []obs.Objective{{
+		Name:   "api_availability",
+		Target: target,
+		Good:   func() uint64 { return m.sloTotal.Value() - m.sloErrors.Value() },
+		Total:  func() uint64 { return m.sloTotal.Value() },
+	}}
+}
+
+// InFlight reports the number of requests currently inside wrapped
+// handlers — the drain loop's readback for "is anything still being
+// served".
+func (m *Metrics) InFlight() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.inFlight.Value()
+}
+
+// ShedQueueDepth reports the total number of requests waiting for an
+// admission slot across all routes — a readiness signal: a deep queue
+// means new work will wait or be rejected.
+func (m *Metrics) ShedQueueDepth() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.shedQueue.Sum()
 }
 
 // statusWriter captures the status code and body size a handler wrote.

@@ -32,6 +32,7 @@ import (
 	"github.com/asrank-go/asrank/internal/bgp"
 	"github.com/asrank-go/asrank/internal/mrt"
 	"github.com/asrank-go/asrank/internal/obs"
+	"github.com/asrank-go/asrank/internal/oplog"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/trace"
 )
@@ -116,6 +117,11 @@ type Options struct {
 	Tracer *trace.Tracer
 	// Logf, when non-nil, receives session lifecycle messages.
 	Logf func(format string, args ...any)
+	// Journal, when non-nil, receives the same lifecycle moments as
+	// structured events (collector.session_up, collector.session_end,
+	// collector.update_malformed) — queryable where Logf lines are only
+	// greppable. May be nil.
+	Journal *oplog.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -271,18 +277,28 @@ func (s *Server) acceptLoop() {
 			defer s.wg.Done()
 			err := s.serve(conn)
 			var nerr net.Error
+			outcome := "ok"
 			switch {
 			case err == nil:
 				s.m.sessions.With("ok").Inc()
 			case errors.As(err, &nerr) && nerr.Timeout():
+				outcome = "holdtime_expired"
 				s.m.sessions.With("holdtime_expired").Inc()
 				s.opts.Logf("collector: session %v: hold timer expired: %v", conn.RemoteAddr(), err)
 			default:
+				outcome = "error"
 				s.m.sessions.With("error").Inc()
 				if !errors.Is(err, io.EOF) {
 					s.opts.Logf("collector: session %v: %v", conn.RemoteAddr(), err)
 				}
 			}
+			sev := oplog.Info
+			if outcome != "ok" {
+				sev = oplog.Warn
+			}
+			s.opts.Journal.Emit(context.Background(), sev, "collector.session_end",
+				oplog.String("remote", conn.RemoteAddr().String()),
+				oplog.String("outcome", outcome))
 		}()
 	}
 }
@@ -346,6 +362,10 @@ func (s *Server) serve(conn net.Conn) error {
 	span.SetAttrInt("resume", int64(binary.BigEndian.Uint32(resume[:])))
 	s.opts.Logf("collector: session up with AS%d (%v, as4=%v, resume=%d)",
 		peer.ASN, conn.RemoteAddr(), as4, binary.BigEndian.Uint32(resume[:]))
+	s.opts.Journal.Info(context.Background(), "collector.session_up",
+		oplog.Int("peer_asn", int64(peer.ASN)),
+		oplog.String("remote", conn.RemoteAddr().String()),
+		oplog.Int("resume", int64(binary.BigEndian.Uint32(resume[:]))))
 
 	defer func() {
 		s.mu.Lock()
@@ -380,6 +400,9 @@ func (s *Server) serve(conn net.Conn) error {
 					s.consumed[peer.ASN]++
 					s.mu.Unlock()
 					s.opts.Logf("collector: session AS%d: skipped malformed UPDATE: %v", peer.ASN, err)
+					s.opts.Journal.Warn(context.Background(), "collector.update_malformed",
+						oplog.Int("peer_asn", int64(peer.ASN)),
+						oplog.String("policy", s.opts.Malformed.String()))
 					continue
 				}
 				s.m.updates.With("malformed_teardown").Inc()

@@ -38,6 +38,11 @@ import (
 // SetAttr, not the name. A plain variable is allowed (helpers such as
 // core's stage() take the literal at their own call site, where this
 // analyzer still sees it as greppable text).
+//
+// Event names handed to the oplog journal (Emit, and the Debug / Info
+// / Warn / Error shorthands) follow the identical grammar and the
+// identical cardinality rule: "stream.commit" aggregates, a name
+// carrying an epoch number does not — the epoch belongs in an attr.
 var ObsNames = &analysis.Analyzer{
 	Name: "obsnames",
 	Doc: "statically checks obs metric and label name literals against " +
@@ -60,6 +65,10 @@ var (
 	// Span names: subsystem.operation[...], each segment lower_snake.
 	spanSegRe  = regexp.MustCompile(`^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$`)
 	spanNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(?:_[a-z0-9]+)*(?:\.[a-z][a-z0-9]*(?:_[a-z0-9]+)*)+$`)
+
+	// Journal emitters and the index of their event-name argument:
+	// Emit(ctx, sev, name, ...), shorthands (ctx, name, ...).
+	oplogNameArg = map[string]int{"Emit": 2, "Debug": 1, "Info": 1, "Warn": 1, "Error": 1}
 )
 
 func runObsNames(pass *analysis.Pass) error {
@@ -73,7 +82,11 @@ func runObsNames(pass *analysis.Pass) error {
 			return
 		}
 		if sel.Sel.Name == "StartSpan" && isTraceFunc(pass.TypesInfo, sel) && len(call.Args) >= 2 {
-			checkSpanName(pass, call.Args[1])
+			checkDottedName(pass, call.Args[1], "span name")
+			return
+		}
+		if idx, ok := oplogNameArg[sel.Sel.Name]; ok && isOplogFunc(pass.TypesInfo, sel) && len(call.Args) > idx {
+			checkDottedName(pass, call.Args[idx], "oplog event name")
 			return
 		}
 		kind, ok := constructor[sel.Sel.Name]
@@ -207,7 +220,22 @@ func isTraceFunc(info *types.Info, sel *ast.SelectorExpr) bool {
 	return path == "trace" || strings.HasSuffix(path, "/trace")
 }
 
-func checkSpanName(pass *analysis.Pass, arg ast.Expr) {
+// isOplogFunc reports whether the selected method is defined by a
+// package named oplog — the journal's Emit/Debug/Info/Warn/Error,
+// excluding same-named methods on unrelated types (notably the error
+// interface's Error()).
+func isOplogFunc(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "oplog" || strings.HasSuffix(path, "/oplog")
+}
+
+// checkDottedName enforces the shared dot-separated lower_snake grammar
+// on span and oplog event names; what names the kind in diagnostics.
+func checkDottedName(pass *analysis.Pass, arg ast.Expr, what string) {
 	arg = ast.Unparen(arg)
 	switch e := arg.(type) {
 	case *ast.BasicLit:
@@ -220,22 +248,22 @@ func checkSpanName(pass *analysis.Pass, arg ast.Expr) {
 			// conforming
 		case spanSegRe.MatchString(name):
 			pass.Reportf(arg.Pos(),
-				"span name %q is too flat: want <subsystem>.<operation>... (>= 2 dot-separated segments)", name)
+				"%s %q is too flat: want <subsystem>.<operation>... (>= 2 dot-separated segments)", what, name)
 		default:
 			pass.Reportf(arg.Pos(),
-				"span name %q breaks the house style: dot-separated lower_snake segments (e.g. core.infer.rank)", name)
+				"%s %q breaks the house style: dot-separated lower_snake segments (e.g. core.infer.rank)", what, name)
 		}
 	case *ast.BinaryExpr:
 		if e.Op == token.ADD {
 			pass.Reportf(arg.Pos(),
-				"span name built by string concatenation is a cardinality bomb: use a constant name and attach variable data with SetAttr")
+				"%s built by string concatenation is a cardinality bomb: use a constant name and attach variable data as attributes", what)
 		}
 	case *ast.CallExpr:
 		if fsel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
 			if fn, ok := pass.TypesInfo.Uses[fsel.Sel].(*types.Func); ok &&
 				fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Sprint") {
 				pass.Reportf(arg.Pos(),
-					"span name built by fmt.%s is a cardinality bomb: use a constant name and attach variable data with SetAttr", fn.Name())
+					"%s built by fmt.%s is a cardinality bomb: use a constant name and attach variable data as attributes", what, fn.Name())
 			}
 		}
 	}

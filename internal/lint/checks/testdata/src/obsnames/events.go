@@ -1,0 +1,50 @@
+// Golden input for the oplog event-name arm of obsnames: literals
+// handed to Journal.Emit and the severity shorthands follow the same
+// dot-separated lower_snake grammar as span names, and names assembled
+// from runtime data are cardinality bombs (the epoch number belongs in
+// an attr, not the name).
+package obsnames
+
+import (
+	"context"
+	"fmt"
+
+	"oplog"
+)
+
+var journal = oplog.New()
+
+func events(ctx context.Context, label string, epoch int) {
+	// Conforming names, mirroring real call sites.
+	journal.Emit(ctx, oplog.Info, "stream.commit")
+	journal.Info(ctx, "snapshot.publish", oplog.String("label", label))
+	journal.Warn(ctx, "collector.update_malformed")
+	journal.Error(ctx, "drain.forced")
+	journal.Debug(ctx, "health.state.change")
+
+	// A variable defeats static checking but is legal.
+	name := "warehouse.append"
+	journal.Info(ctx, name)
+
+	// Violations.
+	journal.Info(ctx, "commit")                                    // want "too flat"
+	journal.Warn(ctx, "Stream.Commit")                             // want "breaks the house style"
+	journal.Emit(ctx, oplog.Info, "stream.commit-done")            // want "breaks the house style"
+	journal.Error(ctx, "drain..done")                              // want "breaks the house style"
+	journal.Info(ctx, "stream.commit."+label)                      // want "cardinality bomb"
+	journal.Emit(ctx, oplog.Warn, fmt.Sprintf("epoch.%d", epoch))  // want "cardinality bomb"
+}
+
+// A same-named method on an unrelated type is out of scope — notably
+// the error interface's Error().
+type notJournal struct{}
+
+func (notJournal) Info(ctx context.Context, name string) {}
+
+func (notJournal) Error() string { return "an error string, not an event" }
+
+func notEvents(ctx context.Context) {
+	notJournal{}.Info(ctx, "Whatever Goes")
+	var err error = nil
+	_ = err
+}

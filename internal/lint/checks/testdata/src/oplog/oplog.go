@@ -1,0 +1,37 @@
+// Package oplog is a minimal stand-in for the repo's structured event
+// journal, giving the obsnames golden package Emit and the severity
+// shorthands on a package named oplog — the shape the event-name arm
+// keys on.
+package oplog
+
+import "context"
+
+type Severity uint8
+
+const (
+	Debug Severity = iota
+	Info
+	Warn
+	Error
+)
+
+type Attr struct {
+	Key string
+	Str string
+}
+
+func String(k, v string) Attr { return Attr{Key: k, Str: v} }
+
+type Journal struct{}
+
+func New() *Journal { return &Journal{} }
+
+func (j *Journal) Emit(ctx context.Context, sev Severity, name string, attrs ...Attr) {}
+
+func (j *Journal) Debug(ctx context.Context, name string, attrs ...Attr) {}
+
+func (j *Journal) Info(ctx context.Context, name string, attrs ...Attr) {}
+
+func (j *Journal) Warn(ctx context.Context, name string, attrs ...Attr) {}
+
+func (j *Journal) Error(ctx context.Context, name string, attrs ...Attr) {}

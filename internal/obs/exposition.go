@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // ContentType is the Prometheus text exposition format version this
@@ -50,7 +51,15 @@ func (r *Registry) Gather(w io.Writer) error {
 					if i < len(m.bounds) {
 						le = formatFloat(m.bounds[i])
 					}
-					writeSample(bw, f.name, "_bucket", f.labels, c.values, le, formatUint(cum))
+					value := formatUint(cum)
+					// OpenMetrics-style exemplar suffix on the bucket
+					// that holds a traced observation:
+					//   … 123 # {trace_id="0af7…"} 0.084 1723180800.000
+					if ex := m.ex[i].Load(); ex != nil {
+						value += ` # {trace_id="` + escapeLabel(ex.trace) + `"} ` +
+							formatFloat(ex.value) + " " + formatTimestamp(ex.when)
+					}
+					writeSample(bw, f.name, "_bucket", f.labels, c.values, le, value)
 				}
 				writeSample(bw, f.name, "_sum", f.labels, c.values, "", formatFloat(sum))
 				writeSample(bw, f.name, "_count", f.labels, c.values, "", formatUint(count))
@@ -109,6 +118,12 @@ func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string,
 }
 
 func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatTimestamp renders an exemplar timestamp as unix seconds with
+// millisecond precision, the OpenMetrics convention.
+func formatTimestamp(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixMilli())/1e3, 'f', 3, 64)
+}
 
 func formatFloat(v float64) string {
 	switch {

@@ -106,7 +106,7 @@ func (l *linter) line(n int, line string) {
 }
 
 func (l *linter) sample(n int, line string) {
-	name, labels, value, err := parseSample(line)
+	name, labels, value, exemplar, err := parseSample(line)
 	if err != nil {
 		l.errorf(n, "%v", err)
 		return
@@ -160,8 +160,66 @@ func (l *linter) sample(n int, line string) {
 	}
 	l.series[key] = true
 
+	if exemplar != "" {
+		if suffix != "_bucket" {
+			l.errorf(n, "exemplar on non-bucket sample %s", name)
+		} else {
+			l.exemplar(n, name, labels, exemplar)
+		}
+	}
+
 	if l.typ[fam] == "histogram" {
 		l.histSample(n, fam, suffix, labels, v)
+	}
+}
+
+// exemplar validates an OpenMetrics exemplar suffix on a bucket line:
+// `{label="value",…} value [timestamp]`, with the exemplar value
+// inside the bucket (<= le) and the labelset within the 128-rune
+// budget the OpenMetrics spec allows.
+func (l *linter) exemplar(n int, name string, labels [][2]string, ex string) {
+	if !strings.HasPrefix(ex, "{") {
+		l.errorf(n, "malformed exemplar %q on %s", ex, name)
+		return
+	}
+	exLabels, rest, err := parseLabels(ex[1:])
+	if err != nil {
+		l.errorf(n, "malformed exemplar labels on %s: %v", name, err)
+		return
+	}
+	runes := 0
+	for _, kv := range exLabels {
+		if !labelRe.MatchString(kv[0]) {
+			l.errorf(n, "invalid exemplar label name %q on %s", kv[0], name)
+		}
+		runes += len([]rune(kv[0])) + len([]rune(kv[1]))
+	}
+	if runes > 128 {
+		l.errorf(n, "exemplar labelset on %s exceeds 128 runes", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errorf(n, "exemplar on %s wants `value [timestamp]`, got %q", name, rest)
+		return
+	}
+	ev, err := parseValue(fields[0])
+	if err != nil {
+		l.errorf(n, "bad exemplar value %q on %s", fields[0], name)
+		return
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			l.errorf(n, "bad exemplar timestamp %q on %s", fields[1], name)
+		}
+	}
+	for _, kv := range labels {
+		if kv[0] != "le" || kv[1] == "+Inf" {
+			continue
+		}
+		le, err := strconv.ParseFloat(kv[1], 64)
+		if err == nil && ev > le {
+			l.errorf(n, "exemplar value %g outside bucket le=%g on %s", ev, le, name)
+		}
 	}
 }
 
@@ -238,64 +296,81 @@ func (l *linter) finish() {
 }
 
 // parseSample splits a sample line into name, label pairs (in exposition
-// order, values unescaped), and the value token.
-func parseSample(line string) (name string, labels [][2]string, value string, err error) {
+// order, values unescaped), the value token, and any OpenMetrics
+// exemplar suffix (the part after " # ", without the separator; ""
+// when the line has none).
+func parseSample(line string) (name string, labels [][2]string, value, exemplar string, err error) {
 	i := strings.IndexAny(line, "{ ")
 	if i < 0 {
-		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+		return "", nil, "", "", fmt.Errorf("malformed sample %q", line)
 	}
 	name = line[:i]
 	rest := line[i:]
 	if rest[0] == '{' {
-		rest = rest[1:]
-		for {
-			if rest == "" {
-				return "", nil, "", fmt.Errorf("unterminated labels in %q", line)
-			}
-			if rest[0] == '}' {
-				rest = rest[1:]
-				break
-			}
-			eq := strings.Index(rest, "=")
-			if eq < 0 || len(rest) <= eq+1 || rest[eq+1] != '"' {
-				return "", nil, "", fmt.Errorf("malformed label in %q", line)
-			}
-			lname := rest[:eq]
-			rest = rest[eq+2:]
-			var val strings.Builder
-			for {
-				if rest == "" {
-					return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
-				}
-				c := rest[0]
-				if c == '"' {
-					rest = rest[1:]
-					break
-				}
-				if c == '\\' && len(rest) > 1 {
-					switch rest[1] {
-					case 'n':
-						val.WriteByte('\n')
-					default:
-						val.WriteByte(rest[1])
-					}
-					rest = rest[2:]
-					continue
-				}
-				val.WriteByte(c)
-				rest = rest[1:]
-			}
-			labels = append(labels, [2]string{lname, val.String()})
-			if strings.HasPrefix(rest, ",") {
-				rest = rest[1:]
-			}
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, "", "", fmt.Errorf("%w in %q", err, line)
 		}
+	}
+	if at := strings.Index(rest, " # "); at >= 0 {
+		exemplar = strings.TrimSpace(rest[at+3:])
+		rest = rest[:at]
 	}
 	value = strings.TrimSpace(rest)
 	if value == "" || strings.ContainsAny(value, " \t") {
-		return "", nil, "", fmt.Errorf("malformed value in %q", line)
+		return "", nil, "", "", fmt.Errorf("malformed value in %q", line)
 	}
-	return name, labels, value, nil
+	return name, labels, value, exemplar, nil
+}
+
+// parseLabels consumes a `name="value",…}` label block (the opening
+// brace already stripped) and returns the pairs plus the unconsumed
+// tail. Shared by the sample parser and the exemplar checker, so both
+// agree on escaping rules.
+func parseLabels(s string) (labels [][2]string, rest string, err error) {
+	rest = s
+	for {
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated labels")
+		}
+		if rest[0] == '}' {
+			rest = rest[1:]
+			return labels, rest, nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 || len(rest) <= eq+1 || rest[eq+1] != '"' {
+			return nil, "", fmt.Errorf("malformed label")
+		}
+		lname := rest[:eq]
+		rest = rest[eq+2:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("unterminated label value")
+			}
+			c := rest[0]
+			if c == '"' {
+				rest = rest[1:]
+				break
+			}
+			if c == '\\' && len(rest) > 1 {
+				switch rest[1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[1])
+				}
+				rest = rest[2:]
+				continue
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		labels = append(labels, [2]string{lname, val.String()})
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		}
+	}
 }
 
 func parseValue(s string) (float64, error) {

@@ -72,6 +72,21 @@ type Histogram struct {
 	mask    uint32
 	ids     sync.Pool
 	nextID  atomic.Uint32
+
+	// ex holds one exemplar per bucket (len(bounds)+1, last is +Inf),
+	// written only by ObserveExemplar. Last write wins: each slot is an
+	// atomic pointer swap, so the hot Observe path pays nothing and a
+	// traced observation costs one small allocation.
+	ex []atomic.Pointer[exemplar]
+}
+
+// exemplar pins one traced observation to the bucket it landed in, the
+// link from a histogram outlier back to the flight recorder. Published
+// whole via atomic pointer; immutable afterwards.
+type exemplar struct {
+	value float64
+	trace string
+	when  time.Time
 }
 
 // histStripe is one shard of bucket counters, padded so neighboring
@@ -98,6 +113,7 @@ func newHistogram(bounds []float64) *Histogram {
 	for i := range h.stripes {
 		h.stripes[i].counts = make([]atomic.Uint64, len(bounds)+1)
 	}
+	h.ex = make([]atomic.Pointer[exemplar], len(bounds)+1)
 	h.ids.New = func() any { return &stripeID{n: h.nextID.Add(1) - 1} }
 	return h
 }
@@ -125,6 +141,39 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveSince records the seconds elapsed since t0.
 func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// ObserveExemplar records one value and pins it, with its trace ID, as
+// the exemplar of the bucket it lands in (last write wins). The
+// exposition renders it in OpenMetrics exemplar syntax on that
+// bucket's line, so a p99 outlier links straight to its span in the
+// flight recorder. An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.ex[i].Store(&exemplar{value: v, trace: traceID, when: time.Now()})
+}
+
+// AtMost returns how many observations so far were <= le. Exact when
+// le is one of the histogram's bucket bounds; otherwise the count for
+// the largest bound not above le (so SLO thresholds should be chosen
+// from the bucket layout).
+func (h *Histogram) AtMost(le float64) uint64 {
+	buckets, _, _ := h.snapshot()
+	var n uint64
+	for i, bound := range h.bounds {
+		if bound > le {
+			break
+		}
+		n += buckets[i]
+	}
+	return n
+}
 
 // snapshot sums the stripes: per-bucket (non-cumulative) counts, the
 // total observation count, and the value sum. Concurrent observations

@@ -239,6 +239,16 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.childFor(values).(*Counter)
 }
 
+// Sum returns the total across every series in the family — the
+// aggregate an SLO reads without caring how the family is labeled.
+func (v *CounterVec) Sum() uint64 {
+	var n uint64
+	for _, c := range v.f.snapshotChildren() {
+		n += c.metric.(*Counter).Value()
+	}
+	return n
+}
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ f *family }
 
@@ -247,12 +257,43 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.f.childFor(values).(*Gauge)
 }
 
+// Sum returns the total across every series in the family (e.g. the
+// whole shed queue depth across routes).
+func (v *GaugeVec) Sum() float64 {
+	var n float64
+	for _, c := range v.f.snapshotChildren() {
+		n += c.metric.(*Gauge).Value()
+	}
+	return n
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 
 // With returns the histogram for the given label values.
 func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.f.childFor(values).(*Histogram)
+}
+
+// SumCount returns the total observation count across every series in
+// the family.
+func (v *HistogramVec) SumCount() uint64 {
+	var n uint64
+	for _, c := range v.f.snapshotChildren() {
+		n += c.metric.(*Histogram).Count()
+	}
+	return n
+}
+
+// SumAtMost returns how many observations across every series were
+// <= le, with the same bound-alignment caveat as Histogram.AtMost —
+// the good-event count of a latency SLO.
+func (v *HistogramVec) SumAtMost(le float64) uint64 {
+	var n uint64
+	for _, c := range v.f.snapshotChildren() {
+		n += c.metric.(*Histogram).AtMost(le)
+	}
+	return n
 }
 
 // joinValues builds the child map key; NUL never appears in our label

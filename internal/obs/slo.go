@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the registry's SLO layer: declarative objectives over
+// counters the process already keeps, turned into multi-window
+// burn-rate gauges.
+//
+// An Objective is a pair of cumulative counts — good events and total
+// events — read on demand (availability reads request/shed counters,
+// latency reads a histogram's under-threshold count). The tracker
+// samples every objective on a fixed cadence, keeps a short history of
+// timestamped samples, and for each configured window computes
+//
+//	error ratio  e(w) = 1 - Δgood/Δtotal        over the window
+//	burn rate    b(w) = e(w) / (1 - target)
+//
+// so b = 1 means the service is spending error budget exactly at the
+// rate that exhausts it by the end of the SLO period, b = 10 means ten
+// times too fast. Multiple windows give the standard fast-burn /
+// slow-burn split: a short window reacts to an incident in seconds, a
+// long window ignores blips. Windows with no traffic burn at zero —
+// an idle service is not failing its SLO.
+
+// Objective is one service-level objective, defined by two cumulative
+// event counts and a target good fraction.
+type Objective struct {
+	// Name labels the burn-rate series; lower_snake, low-cardinality.
+	Name string
+	// Target is the SLO's good fraction, e.g. 0.999. Must be in (0,1).
+	Target float64
+	// Good returns the cumulative count of events that met the
+	// objective; Total the cumulative count of all events. Both must
+	// be monotonic — they are read together at sample time.
+	Good  func() uint64
+	Total func() uint64
+}
+
+// sloSample is one timestamped reading of every objective's counters.
+type sloSample struct {
+	t     time.Time
+	good  []uint64
+	total []uint64
+}
+
+// SLOTracker samples objectives and maintains burn-rate gauges:
+//
+//	asrank_slo_burn_rate{objective,window}  gauge
+//
+// Sampling is explicit (Sample) or on a ticker (Start); tests drive
+// Sample with their own clock, so burn-rate math stays deterministic.
+type SLOTracker struct {
+	objs    []Objective
+	windows []time.Duration
+	burn    *GaugeVec
+
+	mu      sync.Mutex
+	history []sloSample // time-ascending; pruned to the longest window
+}
+
+var objectiveNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$`)
+
+// NewSLOTracker registers the burn-rate family in reg and returns a
+// tracker over the given objectives and windows. Panics on an invalid
+// objective (bad name, target outside (0,1), missing counters) — SLO
+// declarations are init-time configuration, same contract as metric
+// registration.
+func NewSLOTracker(reg *Registry, windows []time.Duration, objs ...Objective) *SLOTracker {
+	if len(windows) == 0 || len(objs) == 0 {
+		panic("obs: SLO tracker wants at least one window and one objective")
+	}
+	for _, o := range objs {
+		if !objectiveNameRe.MatchString(o.Name) {
+			panic(fmt.Sprintf("obs: invalid objective name %q", o.Name))
+		}
+		if o.Target <= 0 || o.Target >= 1 {
+			panic(fmt.Sprintf("obs: objective %q target %v outside (0,1)", o.Name, o.Target))
+		}
+		if o.Good == nil || o.Total == nil {
+			panic(fmt.Sprintf("obs: objective %q missing Good/Total", o.Name))
+		}
+	}
+	t := &SLOTracker{
+		objs:    objs,
+		windows: append([]time.Duration(nil), windows...),
+		burn: reg.GaugeVec("asrank_slo_burn_rate",
+			"Error-budget burn rate per objective and window; 1 = burning exactly the budget, >1 = too fast.",
+			"objective", "window"),
+	}
+	return t
+}
+
+// Sample reads every objective's counters at now, appends the reading
+// to the history, and refreshes the burn-rate gauges for every
+// (objective, window) pair.
+func (t *SLOTracker) Sample(now time.Time) {
+	s := sloSample{t: now, good: make([]uint64, len(t.objs)), total: make([]uint64, len(t.objs))}
+	for i, o := range t.objs {
+		// Good before Total: both race with live traffic, and reading
+		// in this order can only under-count goodness (pessimistic, so
+		// a burn spike is never hidden by the race).
+		s.good[i] = o.Good()
+		s.total[i] = o.Total()
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Drop out-of-order samples rather than corrupting the window math.
+	if n := len(t.history); n > 0 && !t.history[n-1].t.Before(now) {
+		return
+	}
+	t.history = append(t.history, s)
+	maxW := t.windows[0]
+	for _, w := range t.windows[1:] {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	// Prune to the oldest instant any window can still reference; keep
+	// one sample beyond it so a full-width window has a baseline.
+	cutoff := now.Add(-maxW)
+	first := 0
+	for first+1 < len(t.history) && t.history[first+1].t.Before(cutoff) {
+		first++
+	}
+	t.history = t.history[first:]
+
+	for i, o := range t.objs {
+		for _, w := range t.windows {
+			t.burn.With(o.Name, windowLabel(w)).Set(t.burnLocked(i, o.Target, now, w))
+		}
+	}
+}
+
+// burnLocked computes one objective's burn rate over [now-w, now] from
+// the recorded history. Caller holds mu.
+func (t *SLOTracker) burnLocked(i int, target float64, now time.Time, w time.Duration) float64 {
+	last := t.history[len(t.history)-1]
+	// Baseline: the newest sample at or before the window start, else
+	// the oldest we have (a window wider than the history measures
+	// what it can see).
+	start := now.Add(-w)
+	base := t.history[0]
+	for _, s := range t.history {
+		if s.t.After(start) {
+			break
+		}
+		base = s
+	}
+	dTotal := last.total[i] - base.total[i]
+	if dTotal == 0 {
+		return 0
+	}
+	dGood := last.good[i] - base.good[i]
+	errRatio := 1 - float64(dGood)/float64(dTotal)
+	return errRatio / (1 - target)
+}
+
+// BurnRate returns the most recently computed burn rate for the named
+// objective over the given window (one of the constructor's windows).
+func (t *SLOTracker) BurnRate(objective string, w time.Duration) float64 {
+	return t.burn.With(objective, windowLabel(w)).Value()
+}
+
+// MaxBurn returns the highest current burn rate across all objectives
+// for the given window — the single number a readiness check wants.
+func (t *SLOTracker) MaxBurn(w time.Duration) float64 {
+	var max float64
+	for _, o := range t.objs {
+		if b := t.BurnRate(o.Name, w); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Start samples every interval (default 10s) until stop is closed,
+// mirroring RuntimeMetrics.Start.
+func (t *SLOTracker) Start(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t.Sample(time.Now())
+	//lint:ignore noderivedgo sampler lives for the server's lifetime and exits on the caller's stop channel
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				t.Sample(time.Now())
+			}
+		}
+	}()
+}
+
+// windowLabel renders a duration as a compact label value: 30s, 5m,
+// 1h — the trailing zero units time.Duration.String adds ("5m0s",
+// "1h0m0s") are dropped. A zero unit is only dropped when a larger
+// unit precedes it, so "30s" keeps its zero.
+func windowLabel(d time.Duration) string {
+	s := d.String()
+	for _, suffix := range []string{"0s", "0m"} {
+		if strings.HasSuffix(s, suffix) {
+			head := s[:len(s)-len(suffix)]
+			if len(head) > 0 && head[len(head)-1] >= 'a' && head[len(head)-1] <= 'z' {
+				s = head
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sloCounters is a hand-cranked good/total pair for deterministic
+// burn-rate scenarios.
+type sloCounters struct{ good, total atomic.Uint64 }
+
+func (c *sloCounters) hit(good bool) {
+	c.total.Add(1)
+	if good {
+		c.good.Add(1)
+	}
+}
+
+func (c *sloCounters) objective(name string, target float64) Objective {
+	return Objective{Name: name, Target: target, Good: c.good.Load, Total: c.total.Load}
+}
+
+// TestBurnRateMath drives a 99.9% objective through clean traffic, an
+// error storm, and recovery, checking the burn numbers at each stage.
+func TestBurnRateMath(t *testing.T) {
+	reg := NewRegistry()
+	var c sloCounters
+	short, long := 10*time.Second, time.Minute
+	tr := NewSLOTracker(reg, []time.Duration{short, long}, c.objective("availability", 0.999))
+
+	t0 := time.Unix(1000, 0)
+	tr.Sample(t0)
+
+	// Clean traffic: burn 0 on every window.
+	for i := 0; i < 1000; i++ {
+		c.hit(true)
+	}
+	tr.Sample(t0.Add(10 * time.Second))
+	if b := tr.BurnRate("availability", short); b != 0 {
+		t.Errorf("clean burn = %v, want 0", b)
+	}
+
+	// Storm: 100 of the next 1000 fail. Error ratio over the short
+	// window is 0.1, so burn = 0.1 / 0.001 = 100.
+	for i := 0; i < 1000; i++ {
+		c.hit(i%10 != 0)
+	}
+	tr.Sample(t0.Add(20 * time.Second))
+	if b := tr.BurnRate("availability", short); b < 99.9 || b > 100.1 {
+		t.Errorf("storm burn(short) = %v, want ~100", b)
+	}
+	// The long window has seen 100 errors over 2000 requests: burn 50.
+	if b := tr.BurnRate("availability", long); b < 49.9 || b > 50.1 {
+		t.Errorf("storm burn(long) = %v, want ~50", b)
+	}
+	if b := tr.MaxBurn(short); b < 99.9 {
+		t.Errorf("MaxBurn = %v, want ~100", b)
+	}
+
+	// Recovery: the short window forgets the storm first.
+	for i := 0; i < 1000; i++ {
+		c.hit(true)
+	}
+	tr.Sample(t0.Add(30 * time.Second))
+	if b := tr.BurnRate("availability", short); b != 0 {
+		t.Errorf("recovered burn(short) = %v, want 0", b)
+	}
+	if b := tr.BurnRate("availability", long); b == 0 {
+		t.Error("burn(long) forgot the storm too early")
+	}
+
+	// The gauges are on /metrics and pass the strict linter.
+	expo := reg.Expose()
+	if !strings.Contains(expo, `asrank_slo_burn_rate{objective="availability",window="10s"}`) {
+		t.Errorf("burn gauge missing:\n%s", expo)
+	}
+	if errs := Lint(expo); len(errs) != 0 {
+		t.Errorf("exposition lint: %v", errs)
+	}
+}
+
+// TestBurnRateNoTraffic: an idle service burns at zero, not NaN.
+func TestBurnRateNoTraffic(t *testing.T) {
+	var c sloCounters
+	tr := NewSLOTracker(NewRegistry(), []time.Duration{time.Minute}, c.objective("availability", 0.99))
+	t0 := time.Unix(1000, 0)
+	tr.Sample(t0)
+	tr.Sample(t0.Add(time.Minute))
+	if b := tr.BurnRate("availability", time.Minute); b != 0 {
+		t.Errorf("idle burn = %v, want 0", b)
+	}
+}
+
+// TestSLOHistoryPruned: history stays bounded by the longest window.
+func TestSLOHistoryPruned(t *testing.T) {
+	var c sloCounters
+	tr := NewSLOTracker(NewRegistry(), []time.Duration{time.Minute}, c.objective("availability", 0.99))
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 1000; i++ {
+		c.hit(true)
+		tr.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	tr.mu.Lock()
+	n := len(tr.history)
+	tr.mu.Unlock()
+	// 60s window sampled every 1s: ~61 live samples plus the baseline.
+	if n > 70 {
+		t.Errorf("history holds %d samples, want pruned to ~62", n)
+	}
+	// Out-of-order samples are dropped, not spliced in.
+	tr.Sample(t0)
+	tr.mu.Lock()
+	if len(tr.history) != n {
+		t.Error("out-of-order sample was recorded")
+	}
+	tr.mu.Unlock()
+}
+
+// TestSLOTrackerValidation: misdeclared objectives fail at init.
+func TestSLOTrackerValidation(t *testing.T) {
+	var c sloCounters
+	for name, build := range map[string]func(){
+		"bad name": func() {
+			NewSLOTracker(NewRegistry(), []time.Duration{time.Minute}, c.objective("Bad-Name", 0.99))
+		},
+		"target 1": func() {
+			NewSLOTracker(NewRegistry(), []time.Duration{time.Minute}, c.objective("a", 1))
+		},
+		"no windows": func() {
+			NewSLOTracker(NewRegistry(), nil, c.objective("a", 0.99))
+		},
+		"nil counters": func() {
+			NewSLOTracker(NewRegistry(), []time.Duration{time.Minute}, Objective{Name: "a", Target: 0.5})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+// TestWindowLabel pins the label rendering.
+func TestWindowLabel(t *testing.T) {
+	for d, want := range map[time.Duration]string{
+		30 * time.Second: "30s",
+		5 * time.Minute:  "5m",
+		time.Hour:        "1h",
+		90 * time.Second: "1m30s",
+	} {
+		if got := windowLabel(d); got != want {
+			t.Errorf("windowLabel(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// TestSLOTrackerStart: the poller samples until stopped.
+func TestSLOTrackerStart(t *testing.T) {
+	var c sloCounters
+	c.hit(true)
+	tr := NewSLOTracker(NewRegistry(), []time.Duration{time.Minute}, c.objective("availability", 0.99))
+	stop := make(chan struct{})
+	tr.Start(time.Millisecond, stop)
+	deadline := time.After(2 * time.Second)
+	for {
+		tr.mu.Lock()
+		n := len(tr.history)
+		tr.mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("poller never sampled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+}

@@ -1,0 +1,85 @@
+package oplog
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the journal's ring over HTTP — the /debug/oplog
+// surface. Query parameters:
+//
+//	n=<count>     keep only the newest count events (default all)
+//	sev=<level>   keep only events at or above debug|info|warn|error
+//	format=json   wrap the events in a JSON array instead of NDJSON
+//
+// The default output is NDJSON, one event per line, identical to the
+// sink format — so `curl /debug/oplog | tail` and the shipped log
+// agree byte-for-byte on what an event looks like.
+func Handler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events := j.Recent()
+		if s := r.URL.Query().Get("sev"); s != "" {
+			min, ok := parseSeverity(s)
+			if !ok {
+				http.Error(w, "oplog: bad sev (want debug|info|warn|error)", http.StatusBadRequest)
+				return
+			}
+			kept := events[:0]
+			for _, e := range events {
+				if e.Sev >= min {
+					kept = append(kept, e)
+				}
+			}
+			events = kept
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "oplog: bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		asArray := r.URL.Query().Get("format") == "json"
+		if asArray {
+			w.Header().Set("Content-Type", "application/json")
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		var buf []byte
+		if asArray {
+			buf = append(buf, '[')
+		}
+		for i, e := range events {
+			line := appendNDJSON(nil, e)
+			if asArray {
+				if i > 0 {
+					buf = append(buf, ',')
+				}
+				buf = append(buf, line[:len(line)-1]...) // strip the newline
+			} else {
+				buf = append(buf, line...)
+			}
+		}
+		if asArray {
+			buf = append(buf, ']', '\n')
+		}
+		_, _ = w.Write(buf)
+	})
+}
+
+func parseSeverity(s string) (Severity, bool) {
+	switch s {
+	case "debug":
+		return Debug, true
+	case "info":
+		return Info, true
+	case "warn":
+		return Warn, true
+	case "error":
+		return Error, true
+	}
+	return 0, false
+}

@@ -1,0 +1,44 @@
+package oplog
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ring is the journal's bounded buffer: a fixed array of atomic event
+// slots and a monotonically increasing head, the same shape as the
+// trace flight recorder. A published event claims the next slot with a
+// single fetch-add and stores itself with a single atomic pointer
+// write — no locks, so the journal never blocks the instrumented
+// goroutine — and readers racing a writer see either the old event or
+// the new one, both fully published (Emit finishes every field write
+// before the slot store, and the atomic pointer store/load pair gives
+// the happens-before edge).
+type ring struct {
+	slots []atomic.Pointer[Event]
+	head  atomic.Uint64
+}
+
+func newRing(size int) *ring {
+	return &ring{slots: make([]atomic.Pointer[Event], size)}
+}
+
+func (r *ring) add(e *Event) {
+	i := (r.head.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(e)
+}
+
+// snapshot returns the ring's current events in sequence order. Under
+// concurrent writes the result is a consistent-enough view for a
+// post-hoc dump: each slot read is atomic, and ordering by Seq keeps
+// the output stable regardless of eviction order.
+func (r *ring) snapshot() []*Event {
+	out := make([]*Event, 0, len(r.slots))
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}

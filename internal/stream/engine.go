@@ -32,10 +32,12 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/asrank-go/asrank/internal/asindex"
 	"github.com/asrank-go/asrank/internal/cone"
 	"github.com/asrank-go/asrank/internal/core"
+	"github.com/asrank-go/asrank/internal/oplog"
 	"github.com/asrank-go/asrank/internal/paths"
 	"github.com/asrank-go/asrank/internal/topology"
 	"github.com/asrank-go/asrank/internal/warehouse"
@@ -51,6 +53,11 @@ type Options struct {
 	// Workers bounds the parallel cone passes at commit (<= 0 selects
 	// GOMAXPROCS); worker count never changes a committed snapshot.
 	Workers int
+	// Journal, when non-nil, receives one stream.commit event per
+	// epoch carrying the CommitReport's headline fields. Journaling is
+	// instrumentation only: it never influences what the engine
+	// computes.
+	Journal *oplog.Journal
 }
 
 // Stats counts what the engine has done — the differential harness
@@ -139,6 +146,16 @@ type Engine struct {
 
 	//asrank:guardedby mu
 	stats Stats
+
+	// Provenance: the trailing commit reports (/debug/epochs) and the
+	// between-commit event accounting that feeds them.
+
+	//asrank:guardedby mu
+	reports []CommitReport
+	//asrank:guardedby mu
+	pendingEvents int // route events folded since the last commit
+	//asrank:guardedby mu
+	firstPending time.Time // arrival of the oldest unserved event
 }
 
 type pfxKey struct {
@@ -180,6 +197,7 @@ func (e *Engine) Announce(collector string, vp uint32, prefix netip.Prefix, asns
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.noteEventLocked()
 	rk := ribKey{collector: collector, vp: vp, prefix: prefix}
 	old, had := e.rib[rk]
 	if !keep {
@@ -206,6 +224,7 @@ func (e *Engine) Announce(collector string, vp uint32, prefix netip.Prefix, asns
 func (e *Engine) Withdraw(collector string, vp uint32, prefix netip.Prefix) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.noteEventLocked()
 	rk := ribKey{collector: collector, vp: vp, prefix: prefix}
 	old, had := e.rib[rk]
 	if !had {
@@ -214,6 +233,17 @@ func (e *Engine) Withdraw(collector string, vp uint32, prefix netip.Prefix) {
 	delete(e.rib, rk)
 	if old != nil {
 		e.releaseLocked(old)
+	}
+}
+
+// noteEventLocked accounts one route event for the next CommitReport:
+// the event count and the arrival time of the oldest unserved event
+// (the update-to-serve watermark's far end). Instrumentation only.
+func (e *Engine) noteEventLocked() {
+	e.pendingEvents++
+	if e.firstPending.IsZero() {
+		//lint:ignore nodeterminismleak watermark timestamp feeds only the commit report's latency figure, never inference
+		e.firstPending = time.Now()
 	}
 }
 
@@ -325,17 +355,48 @@ func relLookup(rels map[paths.Link]topology.Relationship) cone.RelLookup {
 // columnar snapshot — bit-identical to a batch run over the same
 // routes. The returned snapshot is immutable and safe to publish.
 func (e *Engine) Commit(ctx context.Context) *warehouse.Snapshot {
+	snap, _ := e.CommitEpoch(ctx)
+	return snap
+}
+
+// CommitEpoch is Commit plus provenance: it also returns the epoch's
+// CommitReport, already appended to the /debug/epochs ring and (when a
+// journal is configured) journaled as a stream.commit event. The
+// report is instrumentation about the commit, never an input to it.
+func (e *Engine) CommitEpoch(ctx context.Context) (*warehouse.Snapshot, CommitReport) {
+	tTotal := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats.Epochs++
 
+	rep := CommitReport{
+		Epoch:  e.stats.Epochs,
+		Events: e.pendingEvents,
+	}
+	e.pendingEvents = 0
+	// The watermark clock keeps running until the snapshot is composed
+	// (update-to-serve, not update-to-commit-start); events arriving
+	// during the commit are blocked on mu, so the pending marker can be
+	// claimed up front.
+	firstPendingAt := e.firstPending
+	e.firstPending = time.Time{}
+
 	// Steps 2–3 always re-run: rank and clique are global, cheap
 	// relative to crediting, and the dirty-region rule hinges on the
 	// clique comparison below.
+	tRank := time.Now()
 	rank := e.ix.Rank()
 	clique := core.CliqueFromIndex(e.ix, rank, e.opts.Infer)
 
 	rebuild := !equalASNSlices(clique, e.clique)
+	switch {
+	case !rebuild:
+		rep.Decision, rep.Reason = DecisionIncremental, ReasonSteady
+	case e.prevIdx == nil:
+		rep.Decision, rep.Reason = DecisionRebuild, ReasonInitial
+	default:
+		rep.Decision, rep.Reason = DecisionRebuild, ReasonCliqueChurn
+	}
 	if rebuild {
 		// Dirty region = everything: the clique decides which paths are
 		// poisoned, so every kept-layer aggregate and every credit is
@@ -361,25 +422,32 @@ func (e *Engine) Commit(ctx context.Context) *warehouse.Snapshot {
 			}
 		}
 	}
+	rep.record("rank_clique", time.Since(tRank))
 
 	// Steps 5–9 over the kept-layer aggregates — the same engine the
 	// batch path executes.
+	tInfer := time.Now()
 	res := core.InferIndexed(ctx, e.ix, rank, clique, e.opts.Infer)
+	rep.record("infer", time.Since(tInfer))
 
 	// Cone crediting. Removed paths leave under the relationships they
 	// were credited with; paths touching a changed link are re-walked;
 	// everything else keeps its contribution (leg 3 of the package
 	// contract).
+	tCredit := time.Now()
 	oldRel := relLookup(e.rels)
 	newRel := relLookup(res.Rels)
+	rep.UncreditedPaths = len(e.uncredit)
 	for _, p := range e.uncredit {
 		e.pc.Credit(oldRel, p.ASNs, -1)
 	}
 	e.uncredit = nil
 	if !rebuild {
+		dirty := make(map[paths.Link]struct{})
 		affected := make(map[*entry]struct{})
 		for l, r := range res.Rels {
 			if old, ok := e.rels[l]; !ok || old != r {
+				dirty[l] = struct{}{}
 				for en := range e.linkIndex[l] {
 					affected[en] = struct{}{}
 				}
@@ -387,18 +455,22 @@ func (e *Engine) Commit(ctx context.Context) *warehouse.Snapshot {
 		}
 		for l := range e.rels {
 			if _, ok := res.Rels[l]; !ok {
+				dirty[l] = struct{}{}
 				for en := range e.linkIndex[l] {
 					affected[en] = struct{}{}
 				}
 			}
 		}
+		rep.DirtyLinks = len(dirty)
 		for en := range affected {
 			if en.credited {
+				rep.RecreditedPaths++
 				e.pc.Credit(oldRel, en.path.ASNs, -1)
 				e.pc.Credit(newRel, en.path.ASNs, 1)
 			}
 		}
 	}
+	rep.NewlyCredited = len(e.pendingCredit)
 	for en := range e.pendingCredit {
 		e.pc.Credit(newRel, en.path.ASNs, 1)
 		en.credited = true
@@ -406,6 +478,7 @@ func (e *Engine) Commit(ctx context.Context) *warehouse.Snapshot {
 	e.pendingCredit = make(map[*entry]struct{})
 	e.rels = res.Rels
 	e.clique = append([]uint32(nil), clique...)
+	rep.record("credit", time.Since(tCredit))
 
 	// The serving index is the sorted endpoint set of the labeled
 	// links — identical to what cone.NewRelations interns batch-side.
@@ -416,22 +489,28 @@ func (e *Engine) Commit(ctx context.Context) *warehouse.Snapshot {
 	}
 	idx := asindex.New(asns)
 
+	tSlab := time.Now()
 	var slab []uint64
 	switch {
 	case rebuild || e.prevIdx == nil || !equalASNSlices(idx.ASNs(), e.prevIdx.ASNs()):
 		e.stats.FullSlabs++
+		rep.Slab = SlabFull
 		slab = e.pc.Slab(idx)
 	case e.pc.Dirty():
 		e.stats.Patched++
+		rep.Slab = SlabPatched
 		slab = e.pc.Patch(idx, e.prevSlab)
 	default:
 		e.stats.Reused++
+		rep.Slab = SlabReused
 		slab = e.prevSlab
 	}
 	e.prevIdx = idx
 	e.prevSlab = slab
+	rep.record("slab", time.Since(tSlab))
 
-	return warehouse.Compose(warehouse.ComposeInput{
+	tCompose := time.Now()
+	snap := warehouse.Compose(warehouse.ComposeInput{
 		Index:         idx,
 		ConeWords:     slab,
 		TransitDegree: res.TransitDegree,
@@ -443,6 +522,31 @@ func (e *Engine) Commit(ctx context.Context) *warehouse.Snapshot {
 		PathCount:     e.ix.PathCount(),
 		Workers:       e.opts.Workers,
 	})
+	rep.record("compose", time.Since(tCompose))
+
+	rep.Entries = len(e.entries)
+	rep.RIBRoutes = len(e.rib)
+	if !firstPendingAt.IsZero() {
+		rep.record("watermark", time.Since(firstPendingAt))
+	}
+	rep.record("total", time.Since(tTotal))
+
+	e.reports = append(e.reports, rep)
+	if len(e.reports) > maxReports {
+		e.reports = append(e.reports[:0], e.reports[1:]...)
+	}
+	e.opts.Journal.Info(ctx, "stream.commit",
+		oplog.Int("epoch", int64(rep.Epoch)),
+		oplog.String("decision", rep.Decision),
+		oplog.String("reason", rep.Reason),
+		oplog.String("slab", rep.Slab),
+		oplog.Int("events", int64(rep.Events)),
+		oplog.Int("dirty_links", int64(rep.DirtyLinks)),
+		oplog.Int("recredited_paths", int64(rep.RecreditedPaths)),
+		oplog.Int("total_ms", int64(rep.TotalMillis)),
+		oplog.Int("watermark_ms", int64(rep.WatermarkMillis)))
+
+	return snap, rep
 }
 
 // Stats returns a snapshot of the engine's counters.

@@ -280,13 +280,21 @@ func BatchReference(m Mirror, opts stream.Options) *warehouse.Snapshot {
 	return warehouse.FromResult(res)
 }
 
-// RunSchedule drives one schedule through the engine and, at every
+// RunSchedule drives one schedule through a fresh engine and, at every
 // epoch boundary, through the batch reference, asserting equivalence
 // with EquivCheck. It returns the per-epoch serving ETags and the
 // engine's final stats; a non-nil error names the first divergent
 // epoch and column.
 func RunSchedule(ctx context.Context, sched *Schedule, opts stream.Options) ([]string, stream.Stats, error) {
-	eng := stream.New(opts)
+	return RunScheduleOn(ctx, stream.New(opts), sched, opts)
+}
+
+// RunScheduleOn is RunSchedule against a caller-owned engine, so tests
+// can inspect engine state the differential run leaves behind (commit
+// reports, stats) or continue driving the same engine afterwards. opts
+// must match the options the engine was built with — the batch
+// reference derives its pipeline configuration from them.
+func RunScheduleOn(ctx context.Context, eng *stream.Engine, sched *Schedule, opts stream.Options) ([]string, stream.Stats, error) {
 	mirror := make(Mirror)
 	etags := make([]string, 0, len(sched.Epochs))
 	for ep, evs := range sched.Epochs {

@@ -58,6 +58,11 @@ type EpochInfo struct {
 	ETag  string `json:"etag,omitempty"`
 	ASes  int    `json:"ases"`
 	Links int    `json:"links"`
+	// Note is an opaque caller annotation (e.g. the streaming engine's
+	// CommitReport) carried in the manifest but never interpreted by the
+	// store: it does not participate in segment hashing, delta encoding,
+	// or recovery decisions.
+	Note json.RawMessage `json:"note,omitempty"`
 }
 
 type manifest struct {
@@ -206,6 +211,15 @@ func segmentName(id uint32) string { return fmt.Sprintf("epoch-%06d.seg", id) }
 // the API layer can prove round-trip identity. snap must not be
 // mutated after Append.
 func (st *Store) Append(snap *Snapshot, label, etag string) (EpochInfo, error) {
+	return st.AppendNote(snap, label, etag, nil)
+}
+
+// AppendNote is Append with an opaque manifest annotation: note (any
+// valid JSON, typically a provenance record such as the streaming
+// engine's CommitReport) is stored verbatim on the epoch's manifest
+// entry and returned by Epochs/Latest, but never interpreted — epoch
+// identity (segment hash, ETag) is unchanged by it.
+func (st *Store) AppendNote(snap *Snapshot, label, etag string, note json.RawMessage) (EpochInfo, error) {
 	t0 := time.Now()
 	_, span := startSpan(st.tracer, context.Background(), "warehouse.append")
 	defer span.End()
@@ -242,6 +256,7 @@ func (st *Store) Append(snap *Snapshot, label, etag string) (EpochInfo, error) {
 		ID: id, Label: label, Kind: kindName, Base: base,
 		File: file, Bytes: int64(len(img)), Hash: fmt.Sprintf("%016x", hash),
 		ETag: etag, ASes: snap.NumASes(), Links: len(snap.Links),
+		Note: note,
 	}
 	next := append(append([]EpochInfo(nil), st.epochs...), info)
 	if err := st.writeManifest(next); err != nil {

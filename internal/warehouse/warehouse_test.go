@@ -6,6 +6,7 @@ package warehouse_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -343,5 +344,71 @@ func TestHistoryASN(t *testing.T) {
 	// The pre-append index is immutable: still two epochs.
 	if h.Len() != 2 {
 		t.Errorf("old history handle grew to %d epochs", h.Len())
+	}
+}
+
+// TestAppendNoteRoundTrip proves a manifest annotation survives the
+// write → reopen cycle verbatim, stays opaque (epoch identity — hash,
+// ETag, decoded bytes — is unchanged by it), and mixes freely with
+// un-annotated epochs.
+func TestAppendNoteRoundTrip(t *testing.T) {
+	snaps, etags := buildSeries(t, 3, 400, 8, 0)
+	dir := t.TempDir()
+	st, err := warehouse.Open(dir, warehouse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := json.RawMessage(`{"epoch":1,"decision":"rebuild","reason":"initial","totalMillis":12.5}`)
+	if _, err := st.AppendNote(snaps[0], "annotated", etags[0], note); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(snaps[1], "plain", etags[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendNote(snaps[2], "annotated-too", etags[2], json.RawMessage(`"free-form"`)); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := warehouse.Open(dir, warehouse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := re.Epochs()
+	if len(eps) != 3 {
+		t.Fatalf("reopened with %d epochs, want 3", len(eps))
+	}
+	// The manifest is written indented, so compare compacted JSON: the
+	// annotation must be semantically identical, not byte-identical.
+	compact := func(raw json.RawMessage) string {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, raw); err != nil {
+			t.Fatalf("compact %s: %v", raw, err)
+		}
+		return buf.String()
+	}
+	if got := compact(eps[0].Note); got != string(note) {
+		t.Errorf("epoch 0 note = %s, want %s", got, note)
+	}
+	if eps[1].Note != nil {
+		t.Errorf("epoch 1 grew a note: %s", eps[1].Note)
+	}
+	if got := compact(eps[2].Note); got != `"free-form"` {
+		t.Errorf("epoch 2 note = %s", got)
+	}
+
+	// Opaqueness: identity fields match a store built without notes.
+	plainDir := t.TempDir()
+	plain := fill(t, plainDir, snaps, etags, warehouse.Options{})
+	for i, pe := range plain.Epochs() {
+		if pe.Hash != eps[i].Hash || pe.ETag != eps[i].ETag || pe.Bytes != eps[i].Bytes {
+			t.Errorf("epoch %d identity diverges with a note: %+v vs %+v", i, eps[i], pe)
+		}
+	}
+	dec, err := re.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, snaps[0]) {
+		t.Error("annotated epoch decodes differently")
 	}
 }
