@@ -42,9 +42,11 @@
 // chrome://tracing; append &format=tree for a terminal-readable view.
 // API requests record spans into the flight recorder whenever
 // -debug-listen is set, so a slow request from minutes ago is still
-// explainable from /debug/flight — and latency histogram buckets on
-// /metrics carry OpenMetrics exemplars naming the trace that landed in
-// them, so an outlier bucket links straight to its span tree.
+// explainable from /debug/flight — and when a scraper negotiates the
+// OpenMetrics format (Accept: application/openmetrics-text), latency
+// histogram buckets on /metrics carry exemplars naming the trace that
+// landed in them, so an outlier bucket links straight to its span
+// tree. Plain scrapes get classic 0.0.4 output, exemplar-free.
 //
 // Every operational moment (ingest, epoch publish, health transitions,
 // drain) is also a structured journal event; -oplog appends them as

@@ -83,16 +83,18 @@ type checkResult struct {
 
 // State evaluates the current readiness state and returns it with the
 // per-check outcomes. A state change since the previous evaluation is
-// journaled.
+// journaled. Probes run outside h.mu — a slow probe must not serialize
+// concurrent /readyz requests or block AddCheck — so the lock only
+// covers the checks-slice copy and the lastState transition.
 func (h *Health) State() (string, []checkResult) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-
 	state := StateUnready
 	var results []checkResult
 	if h.readyMark.Load() {
+		h.mu.Lock()
+		checks := append([]healthCheck(nil), h.checks...)
+		h.mu.Unlock()
 		state = StateReady
-		for _, c := range h.checks {
+		for _, c := range checks {
 			ok, detail := c.probe()
 			results = append(results, checkResult{Name: c.name, OK: ok, Detail: detail})
 			if !ok {
@@ -101,6 +103,8 @@ func (h *Health) State() (string, []checkResult) {
 		}
 	}
 
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if state != h.lastState {
 		attrs := []oplog.Attr{
 			oplog.String("from", h.lastState),

@@ -93,8 +93,20 @@ func (m *Metrics) Objectives(target float64) []obs.Objective {
 	return []obs.Objective{{
 		Name:   "api_availability",
 		Target: target,
-		Good:   func() uint64 { return m.sloTotal.Value() - m.sloErrors.Value() },
-		Total:  func() uint64 { return m.sloTotal.Value() },
+		// Good is derived from two separate atomic reads that race with
+		// live traffic: an error counted between them can make errors
+		// exceed the earlier total read, and an unsigned subtraction
+		// would wrap to a huge value and flip the burn math negative for
+		// a window. Saturate at zero instead — momentarily under-counting
+		// goodness only ever makes the burn look worse, never hides it.
+		Good: func() uint64 {
+			total, errors := m.sloTotal.Value(), m.sloErrors.Value()
+			if errors >= total {
+				return 0
+			}
+			return total - errors
+		},
+		Total: func() uint64 { return m.sloTotal.Value() },
 	}}
 }
 

@@ -57,7 +57,7 @@ func TestExemplarResolvesToFlightRecorder(t *testing.T) {
 	var exemplarTrace string
 	deadline := time.Now().Add(5 * time.Second)
 	for exemplarTrace == "" {
-		if m := exemplarRe.FindStringSubmatch(reg.Expose()); m != nil {
+		if m := exemplarRe.FindStringSubmatch(reg.ExposeOpenMetrics()); m != nil {
 			exemplarTrace = m[1]
 			break
 		}
@@ -88,13 +88,23 @@ func TestExemplarResolvesToFlightRecorder(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	// Exemplars must not cost exposition validity.
-	exposed := reg.Expose()
+	// Exemplars must not cost exposition validity: the OpenMetrics
+	// variant carries them and still lints, while the classic 0.0.4
+	// scrape — whose parser rejects exemplar tokens — stays free of
+	// them entirely.
+	exposed := reg.ExposeOpenMetrics()
 	if !strings.Contains(exposed, `# {trace_id="`) {
-		t.Fatal("exposition lost its exemplar")
+		t.Fatal("OpenMetrics exposition lost its exemplar")
 	}
 	if errs := obs.Lint(exposed); len(errs) != 0 {
 		t.Fatalf("exposition invalid with exemplars: %v", errs)
+	}
+	classic := reg.Expose()
+	if strings.Contains(classic, `# {trace_id="`) {
+		t.Fatal("classic 0.0.4 exposition carries an exemplar")
+	}
+	if errs := obs.Lint(classic); len(errs) != 0 {
+		t.Fatalf("classic exposition invalid: %v", errs)
 	}
 }
 

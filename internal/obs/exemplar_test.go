@@ -6,8 +6,10 @@ import (
 )
 
 // TestObserveExemplar: a traced observation lands in the right bucket,
-// surfaces in OpenMetrics exemplar syntax on that bucket's line, and
-// the exposition still passes the strict linter.
+// surfaces in OpenMetrics exemplar syntax on that bucket's line in the
+// OpenMetrics exposition only — classic 0.0.4 output must stay
+// exemplar-free, since its parser rejects tokens after the value — and
+// both variants pass the strict linter.
 func TestObserveExemplar(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("asrank_test_duration_seconds", "Test.", []float64{0.1, 1, 10})
@@ -16,7 +18,7 @@ func TestObserveExemplar(t *testing.T) {
 	h.ObserveExemplar(0.5, "00000000000000000000000000000abc")
 	h.ObserveExemplar(20, "00000000000000000000000000000def") // +Inf bucket
 
-	expo := reg.Expose()
+	expo := reg.ExposeOpenMetrics()
 	wantMid := `asrank_test_duration_seconds_bucket{le="1"} 2 # {trace_id="00000000000000000000000000000abc"} 0.5 `
 	if !strings.Contains(expo, wantMid) {
 		t.Errorf("mid-bucket exemplar missing:\nwant prefix %q\n%s", wantMid, expo)
@@ -28,13 +30,29 @@ func TestObserveExemplar(t *testing.T) {
 	if strings.Contains(expo, `le="0.1"} 1 #`) {
 		t.Errorf("untraced bucket grew an exemplar:\n%s", expo)
 	}
+	if !strings.HasSuffix(expo, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition not terminated with # EOF:\n%s", expo)
+	}
 	if errs := Lint(expo); len(errs) != 0 {
 		t.Errorf("exposition lint: %v", errs)
 	}
 
+	// The classic format cannot carry exemplars: same registry, same
+	// series, no exemplar suffix and no OpenMetrics framing.
+	classic := reg.Expose()
+	if strings.Contains(classic, " # ") {
+		t.Errorf("classic 0.0.4 exposition grew an exemplar:\n%s", classic)
+	}
+	if strings.Contains(classic, "# EOF") {
+		t.Errorf("classic 0.0.4 exposition has OpenMetrics framing:\n%s", classic)
+	}
+	if errs := Lint(classic); len(errs) != 0 {
+		t.Errorf("classic exposition lint: %v", errs)
+	}
+
 	// Last write wins within a bucket.
 	h.ObserveExemplar(0.7, "00000000000000000000000000000aaa")
-	expo = reg.Expose()
+	expo = reg.ExposeOpenMetrics()
 	if !strings.Contains(expo, `# {trace_id="00000000000000000000000000000aaa"} 0.7 `) {
 		t.Errorf("exemplar not replaced:\n%s", expo)
 	}

@@ -11,15 +11,35 @@ import (
 	"time"
 )
 
-// ContentType is the Prometheus text exposition format version this
-// package writes.
+// ContentType is the classic Prometheus text exposition format this
+// package writes by default. The 0.0.4 grammar has no exemplar
+// production — a parser rejects any token after the value — so Gather
+// never emits them; exemplars live in the OpenMetrics variant only.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// Gather writes every registered family to w in Prometheus text
-// format: families sorted by name, one HELP and TYPE line each, series
-// sorted by label values, histograms as cumulative le buckets plus
-// _sum and _count.
+// OpenMetricsContentType is the exposition format served when the
+// scraper negotiates it via Accept. It is the only variant that
+// carries exemplars, and it is framed with a trailing "# EOF".
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Gather writes every registered family to w in classic Prometheus
+// text format (0.0.4): families sorted by name, one HELP and TYPE line
+// each, series sorted by label values, histograms as cumulative le
+// buckets plus _sum and _count. Exemplars are omitted — the 0.0.4
+// parser cannot represent them.
 func (r *Registry) Gather(w io.Writer) error {
+	return r.gather(w, false)
+}
+
+// GatherOpenMetrics writes the same families in OpenMetrics framing:
+// bucket lines carry their exemplars and the output ends with the
+// mandatory "# EOF" terminator. Serve it only to scrapers that asked
+// for OpenMetricsContentType.
+func (r *Registry) GatherOpenMetrics(w io.Writer) error {
+	return r.gather(w, true)
+}
+
+func (r *Registry) gather(w io.Writer, openMetrics bool) error {
 	bw := bufio.NewWriter(w)
 	for _, f := range r.snapshotFamilies() {
 		children := f.snapshotChildren()
@@ -52,12 +72,15 @@ func (r *Registry) Gather(w io.Writer) error {
 						le = formatFloat(m.bounds[i])
 					}
 					value := formatUint(cum)
-					// OpenMetrics-style exemplar suffix on the bucket
-					// that holds a traced observation:
+					// OpenMetrics exemplar suffix on the bucket that
+					// holds a traced observation:
 					//   … 123 # {trace_id="0af7…"} 0.084 1723180800.000
-					if ex := m.ex[i].Load(); ex != nil {
-						value += ` # {trace_id="` + escapeLabel(ex.trace) + `"} ` +
-							formatFloat(ex.value) + " " + formatTimestamp(ex.when)
+					// Classic 0.0.4 output must stay exemplar-free.
+					if openMetrics {
+						if ex := m.ex[i].Load(); ex != nil {
+							value += ` # {trace_id="` + escapeLabel(ex.trace) + `"} ` +
+								formatFloat(ex.value) + " " + formatTimestamp(ex.when)
+						}
 					}
 					writeSample(bw, f.name, "_bucket", f.labels, c.values, le, value)
 				}
@@ -66,24 +89,59 @@ func (r *Registry) Gather(w io.Writer) error {
 			}
 		}
 	}
+	if openMetrics {
+		bw.WriteString("# EOF\n")
+	}
 	return bw.Flush()
 }
 
-// Expose renders the registry to a string, for tests and reports.
+// Expose renders the registry to a string in the classic text format,
+// for tests and reports.
 func (r *Registry) Expose() string {
 	var buf bytes.Buffer
 	r.Gather(&buf)
 	return buf.String()
 }
 
+// ExposeOpenMetrics renders the registry in OpenMetrics framing
+// (exemplars and "# EOF" included), for tests and reports.
+func (r *Registry) ExposeOpenMetrics() string {
+	var buf bytes.Buffer
+	r.GatherOpenMetrics(&buf)
+	return buf.String()
+}
+
 // Handler serves the registry at an HTTP endpoint (mount at /metrics).
+// Content negotiation follows the scraper's Accept header: a client
+// asking for application/openmetrics-text gets the OpenMetrics variant
+// with exemplars; everyone else gets classic 0.0.4 without them, which
+// the classic parser requires.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		var buf bytes.Buffer
-		r.Gather(&buf) // buffer writes cannot fail
-		w.Header().Set("Content-Type", ContentType)
+		var buf bytes.Buffer // buffer writes cannot fail
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			r.GatherOpenMetrics(&buf)
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+		} else {
+			r.Gather(&buf)
+			w.Header().Set("Content-Type", ContentType)
+		}
 		w.Write(buf.Bytes())
 	})
+}
+
+// acceptsOpenMetrics reports whether an Accept header names the
+// OpenMetrics media type. Presence is the whole test: Prometheus lists
+// it explicitly (with a q-value) exactly when it can parse it, and no
+// real scraper sends a q=0 opt-out.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }
 
 // writeSample renders one series line: name+suffix, the label pairs

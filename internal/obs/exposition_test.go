@@ -1,6 +1,9 @@
 package obs
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -75,6 +78,62 @@ func TestExpositionEscaping(t *testing.T) {
 	}
 	if errs := Lint(out); len(errs) != 0 {
 		t.Fatalf("Lint rejected escaped output: %v", errs)
+	}
+}
+
+// TestHandlerContentNegotiation: /metrics answers a plain scrape with
+// classic 0.0.4 (exemplar-free — that parser rejects exemplar tokens)
+// and only hands out the exemplar-carrying, "# EOF"-framed variant to
+// a scraper whose Accept header names application/openmetrics-text.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("asrank_t_neg_seconds", "Test.", []float64{1})
+	h.ObserveExemplar(0.5, "00000000000000000000000000000abc")
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	scrape := func(accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ct, body := scrape("")
+	if ct != ContentType {
+		t.Errorf("default content type = %q, want %q", ct, ContentType)
+	}
+	if strings.Contains(body, " # ") || strings.Contains(body, "# EOF") {
+		t.Errorf("classic scrape carries OpenMetrics syntax:\n%s", body)
+	}
+
+	// The Accept header Prometheus actually sends when it wants OM.
+	ct, body = scrape("application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5")
+	if ct != OpenMetricsContentType {
+		t.Errorf("negotiated content type = %q, want %q", ct, OpenMetricsContentType)
+	}
+	if !strings.Contains(body, `# {trace_id="00000000000000000000000000000abc"}`) {
+		t.Errorf("OpenMetrics scrape lost its exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics scrape not terminated with # EOF:\n%s", body)
+	}
+	if errs := Lint(body); len(errs) != 0 {
+		t.Errorf("OpenMetrics scrape lint: %v", errs)
 	}
 }
 

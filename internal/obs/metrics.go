@@ -144,9 +144,10 @@ func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Second
 
 // ObserveExemplar records one value and pins it, with its trace ID, as
 // the exemplar of the bucket it lands in (last write wins). The
-// exposition renders it in OpenMetrics exemplar syntax on that
-// bucket's line, so a p99 outlier links straight to its span in the
-// flight recorder. An empty traceID degrades to a plain Observe.
+// OpenMetrics exposition (negotiated via Accept; classic 0.0.4 output
+// cannot carry exemplars) renders it on that bucket's line, so a p99
+// outlier links straight to its span in the flight recorder. An empty
+// traceID degrades to a plain Observe.
 func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	h.Observe(v)
 	if traceID == "" {

@@ -157,7 +157,17 @@ func (t *SLOTracker) burnLocked(i int, target float64, now time.Time, w time.Dur
 	if dTotal == 0 {
 		return 0
 	}
-	dGood := last.good[i] - base.good[i]
+	// Good readings race with live traffic and can momentarily dip or
+	// overshoot total (derived counters read non-atomically). Clamp both
+	// ways: an unsigned wrap here would report a hugely negative burn
+	// and hide a real one, so a dip counts as zero goodness instead.
+	var dGood uint64
+	if last.good[i] > base.good[i] {
+		dGood = last.good[i] - base.good[i]
+	}
+	if dGood > dTotal {
+		dGood = dTotal
+	}
 	errRatio := 1 - float64(dGood)/float64(dTotal)
 	return errRatio / (1 - target)
 }

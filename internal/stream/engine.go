@@ -388,12 +388,16 @@ func (e *Engine) CommitEpoch(ctx context.Context) (*warehouse.Snapshot, CommitRe
 	rank := e.ix.Rank()
 	clique := core.CliqueFromIndex(e.ix, rank, e.opts.Infer)
 
-	rebuild := !equalASNSlices(clique, e.clique)
+	// The first epoch is a rebuild by definition — there is no previous
+	// state to be incremental against — even when the computed clique
+	// happens to equal the initial empty one, so the reported decision,
+	// stats.FullRebuilds, and the slab path below all agree on it.
+	rebuild := e.prevIdx == nil || !equalASNSlices(clique, e.clique)
 	switch {
-	case !rebuild:
-		rep.Decision, rep.Reason = DecisionIncremental, ReasonSteady
 	case e.prevIdx == nil:
 		rep.Decision, rep.Reason = DecisionRebuild, ReasonInitial
+	case !rebuild:
+		rep.Decision, rep.Reason = DecisionIncremental, ReasonSteady
 	default:
 		rep.Decision, rep.Reason = DecisionRebuild, ReasonCliqueChurn
 	}
@@ -492,7 +496,9 @@ func (e *Engine) CommitEpoch(ctx context.Context) (*warehouse.Snapshot, CommitRe
 	tSlab := time.Now()
 	var slab []uint64
 	switch {
-	case rebuild || e.prevIdx == nil || !equalASNSlices(idx.ASNs(), e.prevIdx.ASNs()):
+	// rebuild is always true on the first epoch, so e.prevIdx is
+	// non-nil whenever the second operand evaluates.
+	case rebuild || !equalASNSlices(idx.ASNs(), e.prevIdx.ASNs()):
 		e.stats.FullSlabs++
 		rep.Slab = SlabFull
 		slab = e.pc.Slab(idx)
